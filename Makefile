@@ -1,0 +1,41 @@
+# Convenience targets for the LDDP framework reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments figures quick cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark pass: one testing.B benchmark per paper table/figure plus
+# the ablations, extensions and micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table of the evaluation into results/.
+experiments:
+	$(GO) run ./cmd/lddpbench -exp all -out results
+
+# Regenerate the measured figures as SVG charts into results/figures/.
+figures:
+	$(GO) run ./cmd/lddpbench -svg results/figures
+
+# Fast smoke pass.
+quick:
+	$(GO) test ./...
+	$(GO) run ./cmd/lddpbench -exp all -quick > /dev/null
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

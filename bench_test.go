@@ -1,0 +1,250 @@
+package repro
+
+// One benchmark per table, figure, and ablation of the paper, each wrapping
+// the corresponding experiment driver (internal/experiments), plus
+// micro-benchmarks of the load-bearing primitives. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks execute the full driver — workload generation,
+// validation of the smallest instance against a reference implementation,
+// and the timing sweep over all sizes and both platforms — so one iteration
+// is one complete regeneration of that figure's data.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hetsim"
+	"repro/internal/problems"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table I: classification of all 15 contributing sets.
+func BenchmarkTable1Classify(b *testing.B) { benchExperiment(b, "table1") }
+
+// Table II: transfer needs per pattern.
+func BenchmarkTable2Transfer(b *testing.B) { benchExperiment(b, "table2") }
+
+// Figure 7: t_switch sweep for LCS 4k x 4k at t_share = 0.
+func BenchmarkFig7TSwitchSweep(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Figure 8: inverted-L vs horizontal case-1 on CPU and GPU.
+func BenchmarkFig8ILvsH1(b *testing.B) { benchExperiment(b, "fig8") }
+
+// Figure 9: horizontal case-1 CPU/GPU/Framework sweep on both platforms.
+func BenchmarkFig9Horizontal(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Figure 10: Levenshtein CPU/GPU/Framework sweep on both platforms.
+func BenchmarkFig10Levenshtein(b *testing.B) { benchExperiment(b, "fig10") }
+
+// Figure 12: Floyd-Steinberg dithering sweep on both platforms.
+func BenchmarkFig12Dither(b *testing.B) { benchExperiment(b, "fig12") }
+
+// Figure 13: checkerboard sweep on both platforms.
+func BenchmarkFig13Checkerboard(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Ablation A1: pipelined vs synchronous one-way transfers.
+func BenchmarkAblationPipeline(b *testing.B) { benchExperiment(b, "ablation-pipeline") }
+
+// Ablation A2: pinned vs pageable two-way transfers.
+func BenchmarkAblationPinned(b *testing.B) { benchExperiment(b, "ablation-pinned") }
+
+// Ablation A3: coalesced vs row-major GPU layout.
+func BenchmarkAblationCoalescing(b *testing.B) { benchExperiment(b, "ablation-coalesce") }
+
+// Ablation A4: CPU chunking vs thread-per-cell.
+func BenchmarkAblationChunking(b *testing.B) { benchExperiment(b, "ablation-chunking") }
+
+// Ablation A5: autotuned vs heuristic parameters.
+func BenchmarkAblationTuning(b *testing.B) { benchExperiment(b, "ablation-tuning") }
+
+// ---- Micro-benchmarks of the primitives ----
+
+// Real (not simulated) sequential DP throughput on Levenshtein.
+func BenchmarkSolveSequentialLevenshtein1k(b *testing.B) {
+	a, s := workload.SimilarStrings(1, 1023, workload.ASCIIAlphabet, 0.2)
+	p := problems.Levenshtein(a, s)
+	cells := float64(p.Rows * p.Cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// Real goroutine wavefront solver on the same workload.
+func BenchmarkSolveParallelLevenshtein1k(b *testing.B) {
+	a, s := workload.SimilarStrings(1, 1023, workload.ASCIIAlphabet, 0.2)
+	p := problems.Levenshtein(a, s)
+	cells := float64(p.Rows * p.Cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveParallel(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// Full heterogeneous solve (real values + simulated timeline) on dithering.
+func BenchmarkSolveHeteroDither512(b *testing.B) {
+	img := workload.GrayImage(3, 512, 512)
+	p := problems.Dither(img)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveHetero(p, core.Options{TSwitch: -1, TShare: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Timing-model-only heterogeneous solve: the cost of the simulator alone.
+func BenchmarkSolveHeteroTimingOnlyLevenshtein4k(b *testing.B) {
+	p := experiments.Fig10Problem(1, 4096)
+	opts := core.Options{TSwitch: -1, TShare: -1, SkipCompute: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveHetero(p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Simulator op submission throughput.
+func BenchmarkSimSubmit(b *testing.B) {
+	s := hetsim.NewSim(hetsim.HeteroHigh())
+	op := hetsim.Op{Resource: hetsim.ResGPU, Duration: 1000, Label: "k"}
+	b.ResetTimer()
+	prev := hetsim.NoOp
+	for i := 0; i < b.N; i++ {
+		prev = s.Submit(op, prev)
+	}
+}
+
+// Layout index maps, the hot path of every cell access.
+func BenchmarkLayoutIndex(b *testing.B) {
+	layouts := []struct {
+		name string
+		l    table.Layout
+	}{
+		{"RowMajor", table.RowMajor{}},
+		{"AntiDiagMajor", table.AntiDiagMajor{}},
+		{"LMajor", table.LMajor{}},
+		{"KnightMajor", table.NewKnightMajor(1024, 1024)},
+	}
+	for _, lt := range layouts {
+		b.Run(lt.name, func(b *testing.B) {
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += lt.l.Index(1024, 1024, i%1024, (i*7)%1024)
+			}
+			if sink == -1 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
+// The autotuner end to end on a mid-size anti-diagonal problem.
+func BenchmarkTuneLevenshtein2k(b *testing.B) {
+	p := experiments.Fig10Problem(1, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Tune(p, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension: K20 vs Xeon Phi (the paper's future-work question).
+func BenchmarkExtPhi(b *testing.B) { benchExperiment(b, "ext-phi") }
+
+// The tiled cache-efficient multicore baseline across tile sizes, solving
+// for real (not simulated): the ablation for the CMP-style CPU algorithms
+// the paper cites as related work.
+func BenchmarkSolveTiledLevenshtein1k(b *testing.B) {
+	a, s := workload.SimilarStrings(1, 1023, workload.ASCIIAlphabet, 0.2)
+	p := problems.Levenshtein(a, s)
+	for _, tile := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("tile%d", tile), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveTiled(p, tile, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Affine-gap (Gotoh) alignment: the multi-state cell type end to end.
+func BenchmarkAffineAlign512(b *testing.B) {
+	a, s := workload.SimilarStrings(5, 511, workload.DNAAlphabet, 0.2)
+	p := problems.AffineAlign(a, s, problems.DefaultAffineScores())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Traceback cost on a solved table.
+func BenchmarkLevenshteinScript4k(b *testing.B) {
+	a, s := workload.SimilarStrings(9, 4095, workload.ASCIIAlphabet, 0.2)
+	g, err := core.Solve(problems.Levenshtein(a, s))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops := problems.LevenshteinScript(g, a, s)
+		if len(ops) == 0 {
+			b.Fatal("empty script")
+		}
+	}
+}
+
+// Extension: multi-accelerator horizontal execution.
+func BenchmarkExtMulti(b *testing.B) { benchExperiment(b, "ext-multi") }
+
+// Extension: 3-D LDDP over anti-diagonal planes.
+func BenchmarkExt3D(b *testing.B) { benchExperiment(b, "ext-3d") }
+
+// Extension: calibration sensitivity sweep.
+func BenchmarkExtSensitivity(b *testing.B) { benchExperiment(b, "ext-sensitivity") }
+
+// Extension: power-law scaling fits.
+func BenchmarkExtScaling(b *testing.B) { benchExperiment(b, "ext-scaling") }
+
+// Extension: energy accounting.
+func BenchmarkExtEnergy(b *testing.B) { benchExperiment(b, "ext-energy") }
+
+// Ablation A6: GPU threading strategies.
+func BenchmarkAblationGPUChunking(b *testing.B) { benchExperiment(b, "ablation-gpu-chunking") }
+
+// Extension: modern-hardware what-if.
+func BenchmarkExtModern(b *testing.B) { benchExperiment(b, "ext-modern") }
+
+// Extension: critical-path attribution.
+func BenchmarkExtBottleneck(b *testing.B) { benchExperiment(b, "ext-bottleneck") }

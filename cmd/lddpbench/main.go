@@ -1,0 +1,115 @@
+// Command lddpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lddpbench -exp all            # every experiment, full sizes
+//	lddpbench -exp fig10          # one experiment
+//	lddpbench -exp fig13 -quick   # shrunken workloads
+//	lddpbench -list               # enumerate experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID to run, or 'all'")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	seed := flag.Uint64("seed", experiments.DefaultConfig().Seed, "workload generator seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	outDir := flag.String("out", "", "also write each experiment's tables to <out>/<id>.txt")
+	svgDir := flag.String("svg", "", "render the paper's measured figures as SVG charts into this directory and exit")
+	flag.Parse()
+
+	if *svgDir != "" {
+		charts, err := experiments.Charts(experiments.Config{Quick: *quick, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for stem, chart := range charts {
+			path := filepath.Join(*svgDir, stem+".svg")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := chart.WriteSVG(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+		return
+	}
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.Registry()
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("   %s\n\n", e.Description)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Format(os.Stdout)
+		}
+		if *outDir != "" {
+			if err := writeTables(*outDir, e, tables); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeTables stores one experiment's formatted tables under dir.
+func writeTables(dir string, e experiments.Experiment, tables []experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, e.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%s\n%s\n\n", e.Title, e.Description)
+	for _, t := range tables {
+		t.Format(f)
+	}
+	return f.Close()
+}

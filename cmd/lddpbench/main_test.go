@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestWriteTables(t *testing.T) {
+	dir := t.TempDir()
+	e, err := experiments.ByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(experiments.Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTables(dir, e, tables); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, e.Title) || !strings.Contains(out, "Anti-diagonal") {
+		t.Errorf("written file missing content:\n%s", out)
+	}
+}
+
+func TestWriteTablesBadDir(t *testing.T) {
+	e, _ := experiments.ByID("table1")
+	if err := writeTables("/dev/null/nope", e, nil); err == nil {
+		t.Error("unwritable dir should error")
+	}
+}

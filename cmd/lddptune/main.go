@@ -1,0 +1,67 @@
+// Command lddptune runs the paper's §V-A empirical parameter search for a
+// problem and prints both sweep curves (Figure 7 is the first of them).
+//
+// Usage:
+//
+//	lddptune -problem lcs -size 4096
+//	lddptune -problem dither -size 2048 -platform Hetero-Low
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/hetsim"
+	"repro/internal/trace"
+)
+
+func main() {
+	problem := flag.String("problem", "lcs", fmt.Sprintf("one of %v", cli.ProblemNames()))
+	size := flag.Int("size", 4096, "table side length")
+	platform := flag.String("platform", "Hetero-High", "simulated platform")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	inst, err := cli.BuildInstance(*problem, *size, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	plat, err := hetsim.PlatformByName(*platform)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("problem=%s table=%dx%d pattern=%s platform=%s\n",
+		inst.Name, inst.Rows, inst.Cols, inst.Pattern, plat.Name)
+
+	res, err := inst.Tune(core.Options{Platform: plat})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("\nt_switch sweep (t_share = 0):")
+	for _, pt := range res.SwitchCurve {
+		mark := ""
+		if pt.Value == res.TSwitch {
+			mark = "  <-- optimal"
+		}
+		fmt.Printf("  t_switch=%-8d %s%s\n", pt.Value, trace.FormatDuration(pt.Time), mark)
+	}
+	fmt.Printf("\nt_share sweep (t_switch = %d):\n", res.TSwitch)
+	for _, pt := range res.ShareCurve {
+		mark := ""
+		if pt.Value == res.TShare {
+			mark = "  <-- optimal"
+		}
+		fmt.Printf("  t_share=%-8d %s%s\n", pt.Value, trace.FormatDuration(pt.Time), mark)
+	}
+	fmt.Printf("\nchosen: t_switch=%d t_share=%d time=%s\n",
+		res.TSwitch, res.TShare, trace.FormatDuration(res.Time))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lddptune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package repro is a Go reproduction of "A Novel Heterogeneous Framework
+// for Local Dependency Dynamic Programming Problems" (Kumar & Kothapalli,
+// 2015): a framework that classifies LDDP-Plus problems by their
+// contributing cells and executes them across a CPU+GPU platform with
+// pattern-specific work division, transfer pipelining, and memory-layout
+// coalescing.
+//
+// The library lives under internal/: core (the framework), hetsim (the
+// simulated heterogeneous platform substituting for the paper's CUDA
+// testbeds), table, problems, workload, trace, and experiments. The
+// cmd/ tools and examples/ programs are the user-facing entry points, and
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation as Go benchmarks.
+package repro

@@ -1,0 +1,61 @@
+// Autotune: the paper's §V-A empirical parameter search. Sweeps t_switch
+// at t_share=0 (the concave Figure-7 curve), then t_share at the chosen
+// t_switch, and compares the tuned configuration against the framework's
+// model-derived defaults on both platforms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hetsim"
+	"repro/internal/problems"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	const n = 4096
+	a, b := workload.SimilarStrings(99, n-1, workload.DNAAlphabet, 0.3)
+	p := problems.LCS(a, b)
+	fmt.Printf("tuning %s on a %dx%d table (pattern %s)\n\n", p.Name, p.Rows, p.Cols, core.Classify(p.Deps))
+
+	for _, plat := range hetsim.Platforms() {
+		fmt.Printf("== %s\n", plat.Name)
+		tuned, err := core.Tune(p, core.Options{Platform: plat})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Sketch the t_switch curve: sample ~12 points across the sweep.
+		fmt.Println("t_switch sweep (t_share=0):")
+		step := len(tuned.SwitchCurve)/12 + 1
+		for i := 0; i < len(tuned.SwitchCurve); i += step {
+			pt := tuned.SwitchCurve[i]
+			bar := int(pt.Time.Microseconds() / 400)
+			if bar > 60 {
+				bar = 60
+			}
+			fmt.Printf("  %6d %-9s %s\n", pt.Value, trace.FormatDuration(pt.Time), repeat('*', bar))
+		}
+
+		def, err := core.SolveHetero(p, core.Options{Platform: plat, TSwitch: -1, TShare: -1, SkipCompute: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("heuristic defaults: t_switch=%d t_share=%d -> %s\n",
+			def.TSwitch, def.TShare, trace.FormatDuration(def.Time))
+		fmt.Printf("tuned:              t_switch=%d t_share=%d -> %s (%.1f%% faster)\n\n",
+			tuned.TSwitch, tuned.TShare, trace.FormatDuration(tuned.Time),
+			100*(1-float64(tuned.Time)/float64(def.Time)))
+	}
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

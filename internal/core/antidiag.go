@@ -1,0 +1,111 @@
+package core
+
+import (
+	"repro/internal/hetsim"
+	"repro/internal/table"
+)
+
+// runAntiDiagonal executes the three-phase heterogeneous strategy of paper
+// §III-A for anti-diagonal problems (contributing sets {W,N}, {W,NW,N}).
+//
+// Phase 1: the first tSwitch fronts run entirely on the CPU (low work).
+// Phase 2: each front is split; the CPU takes the cells in the top tShare
+// rows ("the first t_share cells of the corresponding anti-diagonal", which
+// under the by-increasing-row front order is exactly the band i < tShare),
+// the GPU takes the rest. Because all dependencies point up-left, the GPU's
+// topmost cell needs the CPU's bottom boundary cell from the previous two
+// fronts, and the CPU needs nothing back: the transfer is strictly one-way
+// CPU->GPU (Table II), so the DMA copy pipelines under the running kernel.
+// Phase 3: the last tSwitch fronts run entirely on the CPU again.
+func runAntiDiagonal[T any](e *heteroExec[T], tSwitch, tShare int) {
+	fronts := e.w.Fronts
+	tSwitch = clampTSwitch(tSwitch, fronts)
+	p2Start, p3Start := tSwitch, fronts-tSwitch
+
+	lastCPU, lastGPU := hetsim.NoOp, hetsim.NoOp
+	upload := e.uploadInput()
+
+	// h2d[t] is the boundary transfer carrying front t's CPU boundary cell.
+	h2d := make([]hetsim.OpID, fronts)
+	for i := range h2d {
+		h2d[i] = hetsim.NoOp
+	}
+
+	// Phase 1: CPU only.
+	for t := 0; t < p2Start; t++ {
+		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "p1", lastCPU)
+	}
+
+	// Phase 1 -> 2 synchronization: the GPU's first kernels read cells of
+	// the two preceding fronts, all CPU-computed; upload them in bulk.
+	syncUp := hetsim.NoOp
+	if p2Start > 0 && p3Start > p2Start {
+		bytes := 0
+		for _, t := range []int{p2Start - 1, p2Start - 2} {
+			if t >= 0 {
+				bytes += e.w.Size(t) * e.bpc
+			}
+		}
+		syncUp = e.bulk(hetsim.ResCopyH2D, bytes, "h2d:phase1-sync", lastCPU)
+	}
+
+	// Phase 2: split fronts.
+	for t := p2Start; t < p3Start; t++ {
+		size := e.w.Size(t)
+		firstRow, _ := table.AntiDiagSpan(e.w.Rows, e.w.Cols, t)
+		cpuCount := tShare - firstRow
+		if cpuCount < 0 {
+			cpuCount = 0
+		}
+		if cpuCount > size {
+			cpuCount = size
+		}
+		gpuCount := size - cpuCount
+
+		if cpuCount > 0 {
+			lastCPU = e.cpuOp(t, 0, cpuCount, "p2", lastCPU)
+		}
+		if gpuCount > 0 {
+			deps := []hetsim.OpID{lastGPU, upload, syncUp}
+			if t-1 >= 0 {
+				deps = append(deps, h2d[t-1])
+			}
+			if t-2 >= 0 {
+				deps = append(deps, h2d[t-2])
+			}
+			lastGPU = e.gpuOp(t, cpuCount, size, "p2", deps...)
+		}
+		if cpuCount > 0 && gpuCount > 0 {
+			// One boundary cell (row tShare-1) feeds the GPU's W/NW/N reads
+			// on the next two fronts.
+			h2d[t] = e.boundary(hetsim.ResCopyH2D, 1, "h2d:boundary", lastCPU)
+		}
+	}
+
+	// Phase 2 -> 3 synchronization: the CPU's first tail fronts read GPU
+	// cells of the two preceding fronts; download their GPU parts.
+	syncDown := hetsim.NoOp
+	if p3Start < fronts && p3Start > p2Start {
+		bytes := 0
+		for _, t := range []int{p3Start - 1, p3Start - 2} {
+			if t >= p2Start {
+				size := e.w.Size(t)
+				firstRow, _ := table.AntiDiagSpan(e.w.Rows, e.w.Cols, t)
+				cpuCount := max(0, min(tShare-firstRow, size))
+				bytes += (size - cpuCount) * e.bpc
+			}
+		}
+		syncDown = e.bulk(hetsim.ResCopyD2H, bytes, "d2h:phase2-sync", lastGPU)
+	}
+
+	// Phase 3: CPU only.
+	for t := p3Start; t < fronts; t++ {
+		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "p3", lastCPU, syncDown)
+	}
+
+	// Result extraction: with a CPU tail phase the answer is already on the
+	// host; otherwise pull the GPU part of the final front.
+	if tSwitch == 0 && lastGPU != hetsim.NoOp {
+		e.extract(e.w.Size(fronts-1), lastGPU)
+	}
+}

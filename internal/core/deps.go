@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DepMask is the contributing set of an LDDP-Plus problem: the subset of
+// the representative set {W, NW, N, NE} that the recurrence actually reads.
+//
+// Cell coordinates follow the paper: for cell (i, j),
+//
+//	W  = (i, j-1)    the cell to the left
+//	NW = (i-1, j-1)  the cell up-left
+//	N  = (i-1, j)    the cell above
+//	NE = (i-1, j+1)  the cell up-right
+type DepMask uint8
+
+const (
+	// DepW is cell(i, j-1).
+	DepW DepMask = 1 << iota
+	// DepNW is cell(i-1, j-1).
+	DepNW
+	// DepN is cell(i-1, j).
+	DepN
+	// DepNE is cell(i-1, j+1).
+	DepNE
+)
+
+// depMaskAll is the full representative set.
+const depMaskAll = DepW | DepNW | DepN | DepNE
+
+// Has reports whether all bits of q are present in m.
+func (m DepMask) Has(q DepMask) bool { return m&q == q }
+
+// Count returns the number of contributing cells.
+func (m DepMask) Count() int {
+	n := 0
+	for b := DepW; b <= DepNE; b <<= 1 {
+		if m.Has(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// Valid reports whether the mask is a legal contributing set: non-empty and
+// within the representative set. (Conflicting-cell pairs are excluded by
+// construction: the representative set contains no two cells collinear
+// through (i,j), per paper Figure 1.)
+func (m DepMask) Valid() bool {
+	return m != 0 && m&^depMaskAll == 0
+}
+
+// String renders the mask as a set, e.g. "{W,NW,N}".
+func (m DepMask) String() string {
+	if m == 0 {
+		return "{}"
+	}
+	var parts []string
+	if m.Has(DepW) {
+		parts = append(parts, "W")
+	}
+	if m.Has(DepNW) {
+		parts = append(parts, "NW")
+	}
+	if m.Has(DepN) {
+		parts = append(parts, "N")
+	}
+	if m.Has(DepNE) {
+		parts = append(parts, "NE")
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ParseDepMask parses a set like "{W,NW}" or "W,NW" (case-insensitive).
+func ParseDepMask(s string) (DepMask, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "{")
+	s = strings.TrimSuffix(s, "}")
+	var m DepMask
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.ToUpper(strings.TrimSpace(tok))
+		switch tok {
+		case "":
+			continue
+		case "W":
+			m |= DepW
+		case "NW":
+			m |= DepNW
+		case "N":
+			m |= DepN
+		case "NE":
+			m |= DepNE
+		default:
+			return 0, fmt.Errorf("core: unknown representative cell %q", tok)
+		}
+	}
+	if !m.Valid() {
+		return 0, fmt.Errorf("core: empty contributing set %q", s)
+	}
+	return m, nil
+}
+
+// AllDepMasks returns the 15 non-empty contributing sets in ascending mask
+// order, matching the row order of paper Table I (which enumerates
+// (W, NW, N, NE) presence combinations).
+func AllDepMasks() []DepMask {
+	out := make([]DepMask, 0, 15)
+	for m := DepMask(1); m <= depMaskAll; m++ {
+		if m.Valid() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Transpose maps the mask through the (i,j) -> (j,i) reflection: W <-> N,
+// NW fixed. NE has no image inside the representative set, so Transpose
+// panics if NE is present; the framework only transposes Vertical-pattern
+// masks, which never contain NE.
+func (m DepMask) Transpose() DepMask {
+	if m.Has(DepNE) {
+		panic("core: cannot transpose a mask containing NE")
+	}
+	var out DepMask
+	if m.Has(DepW) {
+		out |= DepN
+	}
+	if m.Has(DepN) {
+		out |= DepW
+	}
+	if m.Has(DepNW) {
+		out |= DepNW
+	}
+	return out
+}
+
+// MirrorColumns maps the mask through the j -> cols-1-j reflection:
+// NW <-> NE, N fixed. W has no image inside the representative set, so
+// MirrorColumns panics if W is present; the framework only mirrors
+// mInverted-L masks, which never contain W.
+func (m DepMask) MirrorColumns() DepMask {
+	if m.Has(DepW) {
+		panic("core: cannot mirror a mask containing W")
+	}
+	var out DepMask
+	if m.Has(DepNW) {
+		out |= DepNE
+	}
+	if m.Has(DepNE) {
+		out |= DepNW
+	}
+	if m.Has(DepN) {
+		out |= DepN
+	}
+	return out
+}

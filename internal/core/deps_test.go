@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDepMaskHasCount(t *testing.T) {
+	m := DepW | DepN
+	if !m.Has(DepW) || !m.Has(DepN) || m.Has(DepNW) || m.Has(DepNE) {
+		t.Error("Has results wrong")
+	}
+	if !m.Has(DepW | DepN) {
+		t.Error("Has should accept multi-bit queries")
+	}
+	if m.Count() != 2 {
+		t.Errorf("Count = %d, want 2", m.Count())
+	}
+	if depMaskAll.Count() != 4 {
+		t.Errorf("full mask Count = %d, want 4", depMaskAll.Count())
+	}
+}
+
+func TestDepMaskValid(t *testing.T) {
+	if DepMask(0).Valid() {
+		t.Error("empty mask should be invalid")
+	}
+	if !DepW.Valid() || !depMaskAll.Valid() {
+		t.Error("legal masks reported invalid")
+	}
+	if DepMask(0x10).Valid() {
+		t.Error("out-of-range bit should be invalid")
+	}
+}
+
+func TestDepMaskString(t *testing.T) {
+	cases := []struct {
+		m    DepMask
+		want string
+	}{
+		{0, "{}"},
+		{DepW, "{W}"},
+		{DepNW | DepNE, "{NW,NE}"},
+		{depMaskAll, "{W,NW,N,NE}"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("String(%08b) = %q, want %q", c.m, got, c.want)
+		}
+	}
+}
+
+func TestParseDepMask(t *testing.T) {
+	cases := []struct {
+		in   string
+		want DepMask
+	}{
+		{"{W}", DepW},
+		{"w, nw", DepW | DepNW},
+		{"{NW,N,NE}", DepNW | DepN | DepNE},
+		{" N ", DepN},
+	}
+	for _, c := range cases {
+		got, err := ParseDepMask(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseDepMask(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "{}", "{X}", "W,Q"} {
+		if _, err := ParseDepMask(bad); err == nil {
+			t.Errorf("ParseDepMask(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDepMaskRoundTrip(t *testing.T) {
+	for _, m := range AllDepMasks() {
+		got, err := ParseDepMask(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %s -> %v, %v", m, got, err)
+		}
+	}
+}
+
+func TestAllDepMasks(t *testing.T) {
+	all := AllDepMasks()
+	if len(all) != 15 {
+		t.Fatalf("AllDepMasks returned %d masks, want 15 (2^4 - 1, paper §III)", len(all))
+	}
+	seen := map[DepMask]bool{}
+	for _, m := range all {
+		if !m.Valid() || seen[m] {
+			t.Errorf("mask %s invalid or duplicated", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	cases := []struct{ in, want DepMask }{
+		{DepW, DepN},
+		{DepN, DepW},
+		{DepNW, DepNW},
+		{DepW | DepNW, DepN | DepNW},
+		{DepW | DepN, DepW | DepN},
+	}
+	for _, c := range cases {
+		if got := c.in.Transpose(); got != c.want {
+			t.Errorf("Transpose(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTransposeIsInvolution(t *testing.T) {
+	f := func(raw uint8) bool {
+		m := DepMask(raw) & (DepW | DepNW | DepN)
+		if m == 0 {
+			return true
+		}
+		return m.Transpose().Transpose() == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposePanicsOnNE(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(DepW | DepNE).Transpose()
+}
+
+func TestMirrorColumns(t *testing.T) {
+	cases := []struct{ in, want DepMask }{
+		{DepNE, DepNW},
+		{DepNW, DepNE},
+		{DepN, DepN},
+		{DepNW | DepN | DepNE, DepNW | DepN | DepNE},
+	}
+	for _, c := range cases {
+		if got := c.in.MirrorColumns(); got != c.want {
+			t.Errorf("MirrorColumns(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMirrorIsInvolution(t *testing.T) {
+	f := func(raw uint8) bool {
+		m := DepMask(raw) & (DepNW | DepN | DepNE)
+		if m == 0 {
+			return true
+		}
+		return m.MirrorColumns().MirrorColumns() == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMirrorPanicsOnW(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(DepW | DepN).MirrorColumns()
+}

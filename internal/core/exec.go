@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hetsim"
+	"repro/internal/table"
+)
+
+// heteroExec carries the state shared by all strategy implementations: the
+// (canonicalized) problem, its wavefront space, the real DP grid being
+// filled, and the simulator collecting the timing DAG.
+//
+// Correctness and timing are decoupled by construction: every cpuOp/gpuOp
+// first evaluates the recurrence for its cell range (in front order, which
+// is dependency-safe) and then submits a timed operation describing what
+// the corresponding device would have done.
+type heteroExec[T any] struct {
+	p         *Problem[T]
+	w         Wavefronts
+	g         *table.Grid[T] // nil when Options.SkipCompute
+	sim       *hetsim.Sim
+	opts      Options
+	coalesced bool // layout stores fronts contiguously
+	bpc       int
+}
+
+func newHeteroExec[T any](p *Problem[T], w Wavefronts, opts Options) *heteroExec[T] {
+	var g *table.Grid[T]
+	if !opts.SkipCompute {
+		g = table.NewGrid[T](p.Rows, p.Cols, opts.Layout)
+	}
+	return &heteroExec[T]{
+		p:         p,
+		w:         w,
+		g:         g,
+		sim:       hetsim.NewSim(opts.Platform),
+		opts:      opts,
+		coalesced: opts.Layout.Name() == w.PreferredLayout().Name(),
+		bpc:       p.bytesPerCell(),
+	}
+}
+
+// compute evaluates cells [lo, hi) of front t into the grid.
+func (e *heteroExec[T]) compute(t, lo, hi int) {
+	if e.g == nil {
+		return
+	}
+	rd := gridReader[T]{e.g}
+	for k := lo; k < hi; k++ {
+		i, j := e.w.Cell(t, k)
+		e.g.Set(i, j, e.p.F(i, j, gatherNeighbors(e.p, rd, i, j)))
+	}
+}
+
+// cpuOp computes cells [lo, hi) of front t and submits the corresponding
+// CPU parallel region.
+func (e *heteroExec[T]) cpuOp(t, lo, hi int, phase string, deps ...hetsim.OpID) hetsim.OpID {
+	if hi <= lo {
+		return hetsim.NoOp
+	}
+	e.compute(t, lo, hi)
+	cells := hi - lo
+	cpu := e.opts.Platform.CPU
+	var dur = cpu.RegionDuration(cells, e.coalesced)
+	if e.opts.CPUThreadPerCell {
+		dur = cpu.ThreadPerCellDuration(cells, e.coalesced)
+	}
+	return e.sim.Submit(hetsim.Op{
+		Resource: hetsim.ResCPU,
+		Kind:     hetsim.OpCompute,
+		Duration: dur,
+		Label:    fmt.Sprintf("cpu:%s:t=%d", phase, t),
+		Cells:    cells,
+	}, deps...)
+}
+
+// gpuOp computes cells [lo, hi) of front t and submits the corresponding
+// kernel launch.
+func (e *heteroExec[T]) gpuOp(t, lo, hi int, phase string, deps ...hetsim.OpID) hetsim.OpID {
+	if hi <= lo {
+		return hetsim.NoOp
+	}
+	e.compute(t, lo, hi)
+	cells := hi - lo
+	dur := e.opts.Platform.GPU.KernelDuration(cells, e.coalesced)
+	return e.sim.Submit(hetsim.Op{
+		Resource: hetsim.ResGPU,
+		Kind:     hetsim.OpCompute,
+		Duration: dur,
+		Label:    fmt.Sprintf("gpu:%s:t=%d", phase, t),
+		Cells:    cells,
+	}, deps...)
+}
+
+// transferResource selects the queue a boundary transfer runs on: a DMA
+// engine when pipelining is enabled (paper §IV-C case 1), or the GPU's own
+// queue when disabled, which models a synchronous default-stream copy that
+// blocks kernel execution.
+func (e *heteroExec[T]) transferResource(res hetsim.Resource) hetsim.Resource {
+	if e.opts.DisablePipeline {
+		return hetsim.ResGPU
+	}
+	return res
+}
+
+// boundary submits the per-iteration exchange of cells boundary cells.
+// Boundary transfers use pinned memory by default (paper §IV-C case 2:
+// "we only transfer a few cells ... we use pinned memory"); the UsePageable
+// ablation reverts them.
+func (e *heteroExec[T]) boundary(res hetsim.Resource, cells int, label string, deps ...hetsim.OpID) hetsim.OpID {
+	if cells <= 0 {
+		return hetsim.NoOp
+	}
+	bytes := cells * e.bpc
+	pinned := !e.opts.UsePageable
+	dur := e.opts.Platform.Bus.TransferDuration(bytes, pinned)
+	return e.sim.Submit(hetsim.Op{
+		Resource: e.transferResource(res),
+		Kind:     hetsim.OpTransfer,
+		Duration: dur,
+		Label:    label,
+		Cells:    cells,
+		Bytes:    bytes,
+	}, deps...)
+}
+
+// bulk submits a large pageable transfer (input upload, phase-boundary
+// synchronization, result extraction).
+func (e *heteroExec[T]) bulk(res hetsim.Resource, bytes int, label string, deps ...hetsim.OpID) hetsim.OpID {
+	if bytes <= 0 {
+		return hetsim.NoOp
+	}
+	dur := e.opts.Platform.Bus.TransferDuration(bytes, false)
+	return e.sim.Submit(hetsim.Op{
+		Resource: e.transferResource(res),
+		Kind:     hetsim.OpTransfer,
+		Duration: dur,
+		Label:    label,
+		Bytes:    bytes,
+	}, deps...)
+}
+
+// uploadInput submits the initial host-to-device copy of the problem input
+// (cost grids, images, ...). Returns NoOp for negligible inputs.
+func (e *heteroExec[T]) uploadInput() hetsim.OpID {
+	return e.bulk(hetsim.ResCopyH2D, e.p.InputBytes, "h2d:input")
+}
+
+// extract submits the final device-to-host copy of cells result cells.
+func (e *heteroExec[T]) extract(cells int, deps ...hetsim.OpID) hetsim.OpID {
+	return e.bulk(hetsim.ResCopyD2H, cells*e.bpc, "d2h:result", deps...)
+}
+
+// clampTSwitch bounds t_switch to at most half the fronts so the prefix
+// and suffix low-work regions never overlap.
+func clampTSwitch(tSwitch, fronts int) int {
+	if tSwitch < 0 {
+		return 0
+	}
+	if tSwitch > fronts/2 {
+		return fronts / 2
+	}
+	return tSwitch
+}

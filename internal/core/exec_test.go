@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hetsim"
+	"repro/internal/table"
+)
+
+func newTestExec(t *testing.T, opts Options) *heteroExec[int64] {
+	t.Helper()
+	p := testProblem(DepW|DepN, 10, 10)
+	w := NewWavefronts(AntiDiagonal, 10, 10)
+	opts = opts.withDefaults(w, TransferOneWay)
+	return newHeteroExec(p, w, opts)
+}
+
+func TestExecCoalescedFlag(t *testing.T) {
+	e := newTestExec(t, Options{TSwitch: 0, TShare: 0})
+	if !e.coalesced {
+		t.Error("pattern-default layout should be coalesced")
+	}
+	e2 := newTestExec(t, Options{TSwitch: 0, TShare: 0, Layout: table.RowMajor{}})
+	if e2.coalesced {
+		t.Error("row-major layout on an anti-diagonal problem should be uncoalesced")
+	}
+}
+
+func TestExecEmptyRangesAreNoOps(t *testing.T) {
+	e := newTestExec(t, Options{TSwitch: 0, TShare: 0})
+	if id := e.cpuOp(0, 3, 3, "x"); id != hetsim.NoOp {
+		t.Error("empty CPU range should be NoOp")
+	}
+	if id := e.gpuOp(0, 5, 2, "x"); id != hetsim.NoOp {
+		t.Error("inverted GPU range should be NoOp")
+	}
+	if id := e.boundary(hetsim.ResCopyH2D, 0, "x"); id != hetsim.NoOp {
+		t.Error("zero-cell boundary should be NoOp")
+	}
+	if id := e.bulk(hetsim.ResCopyD2H, 0, "x"); id != hetsim.NoOp {
+		t.Error("zero-byte bulk should be NoOp")
+	}
+	if e.sim.NumOps() != 0 {
+		t.Errorf("no-ops submitted %d operations", e.sim.NumOps())
+	}
+}
+
+func TestExecUploadInputRespectsInputBytes(t *testing.T) {
+	e := newTestExec(t, Options{TSwitch: 0, TShare: 0})
+	if id := e.uploadInput(); id != hetsim.NoOp {
+		t.Error("zero InputBytes should skip the upload")
+	}
+	e.p.InputBytes = 1 << 20
+	if id := e.uploadInput(); id == hetsim.NoOp {
+		t.Error("nonzero InputBytes should upload")
+	}
+	tl := e.sim.Timeline()
+	if tl.BytesTransferred() != 1<<20 {
+		t.Errorf("uploaded %d bytes, want %d", tl.BytesTransferred(), 1<<20)
+	}
+}
+
+func TestExecBoundaryUsesPinnedByDefault(t *testing.T) {
+	e := newTestExec(t, Options{TSwitch: 0, TShare: 0})
+	e.boundary(hetsim.ResCopyH2D, 1, "b")
+	pinnedDur := e.sim.Timeline().Records[0].Duration()
+
+	e2 := newTestExec(t, Options{TSwitch: 0, TShare: 0, UsePageable: true})
+	e2.boundary(hetsim.ResCopyH2D, 1, "b")
+	pageableDur := e2.sim.Timeline().Records[0].Duration()
+
+	if pinnedDur >= pageableDur {
+		t.Errorf("pinned boundary %v should beat pageable %v", pinnedDur, pageableDur)
+	}
+}
+
+func TestExecDisablePipelineMovesTransfersToGPU(t *testing.T) {
+	e := newTestExec(t, Options{TSwitch: 0, TShare: 0, DisablePipeline: true})
+	e.boundary(hetsim.ResCopyH2D, 1, "b")
+	e.bulk(hetsim.ResCopyD2H, 100, "d")
+	for _, r := range e.sim.Timeline().Records {
+		if r.Resource != hetsim.ResGPU {
+			t.Errorf("transfer %q on %s, want gpu queue", r.Label, r.Resource)
+		}
+	}
+}
+
+func TestExecSkipComputeLeavesGridNil(t *testing.T) {
+	e := newTestExec(t, Options{TSwitch: 0, TShare: 0, SkipCompute: true})
+	if e.g != nil {
+		t.Error("SkipCompute should not allocate a grid")
+	}
+	// compute must be a no-op, not a crash.
+	e.compute(0, 0, 1)
+}
+
+func TestOptionsWithDefaults(t *testing.T) {
+	w := NewWavefronts(AntiDiagonal, 2048, 2048)
+	o := Options{TSwitch: -1, TShare: -1}.withDefaults(w, TransferOneWay)
+	if o.Platform == nil || o.Platform.Name != "Hetero-High" {
+		t.Error("default platform should be Hetero-High")
+	}
+	if o.TSwitch < 0 || o.TShare < 0 {
+		t.Error("auto parameters not resolved")
+	}
+	if o.Layout == nil || o.Layout.Name() != "antidiag-major" {
+		t.Errorf("default layout = %v, want antidiag-major", o.Layout)
+	}
+	// Explicit values survive.
+	o2 := Options{TSwitch: 7, TShare: 9, Layout: table.RowMajor{}}.withDefaults(w, TransferOneWay)
+	if o2.TSwitch != 7 || o2.TShare != 9 || o2.Layout.Name() != "row-major" {
+		t.Error("explicit options overwritten by defaults")
+	}
+}
+
+func TestResultStats(t *testing.T) {
+	p := testProblem(DepW|DepN, 64, 64)
+	res, err := SolveHetero(p, Options{TSwitch: 10, TShare: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats()
+	if st.Makespan != res.Time {
+		t.Errorf("Stats.Makespan %v != Result.Time %v", st.Makespan, res.Time)
+	}
+	if st.CPUCells+st.GPUCells != 64*64 {
+		t.Errorf("stats account for %d cells, want %d", st.CPUCells+st.GPUCells, 64*64)
+	}
+}
+
+func TestPreferredLayoutFor(t *testing.T) {
+	cases := []struct {
+		m        DepMask
+		preferIL bool
+		want     string
+	}{
+		{DepW | DepN, false, "antidiag-major"},
+		{DepNW, false, "row-major"}, // inverted-L routed through horizontal
+		{DepNW, true, "l-major"},
+		{DepW | DepNE, false, "knight-major"},
+		{DepW, false, "row-major"}, // vertical transposed to horizontal
+	}
+	for _, c := range cases {
+		p := testProblem(c.m, 8, 8)
+		if got := PreferredLayoutFor(p, c.preferIL).Name(); got != c.want {
+			t.Errorf("PreferredLayoutFor(%s, %v) = %q, want %q", c.m, c.preferIL, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+// FuzzParseDepMask checks that the parser never panics and that anything
+// it accepts round-trips through String.
+func FuzzParseDepMask(f *testing.F) {
+	for _, seed := range []string{"{W}", "{W,NW,N,NE}", "w, n", "", "{X}", "{,}", "NW"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseDepMask(s)
+		if err != nil {
+			return
+		}
+		if !m.Valid() {
+			t.Fatalf("parser accepted invalid mask %08b from %q", m, s)
+		}
+		back, err := ParseDepMask(m.String())
+		if err != nil || back != m {
+			t.Fatalf("round trip failed for %q: %v %v", s, back, err)
+		}
+	})
+}
+
+// FuzzHeteroEquivalence drives the full pipeline — classification,
+// symmetry reduction, strategy selection, simulated execution — on
+// arbitrary masks, shapes and parameters, and checks cell-for-cell
+// equality with the sequential reference.
+func FuzzHeteroEquivalence(f *testing.F) {
+	f.Add(uint8(3), uint8(9), uint8(9), int16(2), int16(3))
+	f.Add(uint8(14), uint8(1), uint8(20), int16(-1), int16(-1))
+	f.Fuzz(func(t *testing.T, mi, r, c uint8, tsw, tsh int16) {
+		masks := AllDepMasks()
+		m := masks[int(mi)%len(masks)]
+		rows := int(r%24) + 1
+		cols := int(c%24) + 1
+		p := testProblem(m, rows, cols)
+		want, err := Solve(p)
+		if err != nil {
+			t.Skip()
+		}
+		res, err := SolveHetero(p, Options{TSwitch: int(tsw), TShare: int(tsh)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.EqualComparable(want, res.Grid) {
+			t.Fatalf("mask %s %dx%d tsw=%d tsh=%d: hetero differs", m, rows, cols, tsw, tsh)
+		}
+	})
+}

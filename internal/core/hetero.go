@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hetsim"
+	"repro/internal/table"
+)
+
+// SolveHetero runs the paper's heterogeneous framework on the problem: it
+// classifies the contributing set (Table I), symmetry-reduces the pattern,
+// selects the execution strategy and work-division parameters, and executes
+// the plan against the simulated platform while computing real cell values.
+func SolveHetero[T any](p *Problem[T], opts Options) (*Result[T], error) {
+	return solveSim(p, opts, modeHetero)
+}
+
+// SolveCPUOnly runs the multicore-CPU baseline on the simulated platform:
+// one parallel region per wavefront, no GPU, no transfers.
+func SolveCPUOnly[T any](p *Problem[T], opts Options) (*Result[T], error) {
+	return solveSim(p, opts, modeCPUOnly)
+}
+
+// SolveGPUOnly runs the pure-GPU baseline on the simulated platform: one
+// kernel per wavefront, plus input upload and result extraction.
+func SolveGPUOnly[T any](p *Problem[T], opts Options) (*Result[T], error) {
+	return solveSim(p, opts, modeGPUOnly)
+}
+
+type solveMode uint8
+
+const (
+	modeHetero solveMode = iota
+	modeCPUOnly
+	modeGPUOnly
+)
+
+func solveSim[T any](p *Problem[T], opts Options, mode solveMode) (*Result[T], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cp, canonical, reduction, undo := canonicalize(p)
+
+	executed := canonical
+	if canonical == InvertedL && !opts.PreferInvertedL {
+		// §V-B: inverted-L problems run faster through horizontal case-1.
+		executed = Horizontal
+	}
+	w := NewWavefronts(executed, cp.Rows, cp.Cols)
+	o := opts.withDefaults(w, TransferNeed(p.Deps))
+	if o.Layout == nil {
+		return nil, fmt.Errorf("core: nil layout after defaulting")
+	}
+
+	e := newHeteroExec(cp, w, o)
+
+	switch mode {
+	case modeCPUOnly:
+		runDeviceOnly(e, hetsim.ResCPU)
+	case modeGPUOnly:
+		runDeviceOnly(e, hetsim.ResGPU)
+	default:
+		switch executed {
+		case AntiDiagonal:
+			runAntiDiagonal(e, o.TSwitch, o.TShare)
+		case Horizontal:
+			runHorizontal(e, o.TShare)
+		case InvertedL:
+			runInvertedL(e, o.TSwitch, o.TShare)
+		case KnightMove:
+			runKnightMove(e, o.TSwitch, o.TShare)
+		default:
+			return nil, fmt.Errorf("core: no strategy for executed pattern %s", executed)
+		}
+	}
+
+	res := &Result[T]{
+		Pattern:   Classify(p.Deps),
+		Executed:  executed,
+		Reduction: reduction,
+		Transfer:  TransferNeed(p.Deps),
+		TSwitch:   o.TSwitch,
+		TShare:    o.TShare,
+		Time:      e.sim.Makespan(),
+		Timeline:  e.sim.Timeline(),
+		Critical:  e.sim.CriticalPath(),
+	}
+	if mode != modeHetero {
+		res.TSwitch, res.TShare = 0, 0
+	}
+	if e.g != nil {
+		res.Grid = undo(e.g)
+	}
+	return res, nil
+}
+
+// runDeviceOnly executes every wavefront on a single device: the pure-CPU
+// and pure-GPU baselines of the paper's figures.
+func runDeviceOnly[T any](e *heteroExec[T], dev hetsim.Resource) {
+	last := hetsim.NoOp
+	if dev == hetsim.ResGPU {
+		upload := e.uploadInput()
+		for t := 0; t < e.w.Fronts; t++ {
+			last = e.gpuOp(t, 0, e.w.Size(t), "only", last, upload)
+		}
+		e.extract(e.w.Size(e.w.Fronts-1), last)
+		return
+	}
+	for t := 0; t < e.w.Fronts; t++ {
+		last = e.cpuOp(t, 0, e.w.Size(t), "only", last)
+	}
+}
+
+// PreferredLayoutFor returns the coalescing-friendly layout the framework
+// would select for a problem, after symmetry reduction and the inverted-L
+// preference. Exposed for experiments that override Options.Layout.
+func PreferredLayoutFor[T any](p *Problem[T], preferInvertedL bool) table.Layout {
+	cp, canonical, _, _ := canonicalize(p)
+	executed := canonical
+	if canonical == InvertedL && !preferInvertedL {
+		executed = Horizontal
+	}
+	return NewWavefronts(executed, cp.Rows, cp.Cols).PreferredLayout()
+}

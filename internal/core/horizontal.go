@@ -1,0 +1,57 @@
+package core
+
+import "repro/internal/hetsim"
+
+// runHorizontal executes the single-phase heterogeneous strategy of paper
+// §III-B for horizontal problems (all contributing sets within {NW,N,NE}).
+//
+// Every front is a row, so parallelism is constant and the same split works
+// for all iterations: the CPU takes the left tShare columns, the GPU the
+// rest. Data movement follows §III-B's case analysis:
+//
+//   - NW in the contributing set: the GPU's leftmost cell reads the CPU's
+//     rightmost cell of the previous row -> CPU->GPU transfer;
+//   - NE in the contributing set: the CPU's rightmost cell reads the GPU's
+//     leftmost cell of the previous row -> GPU->CPU transfer;
+//   - both: two-way (case 2, pinned memory);
+//   - {N} only: the split line is never crossed and no transfer happens.
+func runHorizontal[T any](e *heteroExec[T], tShare int) {
+	fronts := e.w.Fronts
+	cols := e.w.Cols
+	needH2D := e.p.Deps.Has(DepNW)
+	needD2H := e.p.Deps.Has(DepNE)
+
+	cpuCount := tShare
+	if cpuCount < 0 {
+		cpuCount = 0
+	}
+	if cpuCount > cols {
+		cpuCount = cols
+	}
+	gpuCount := cols - cpuCount
+
+	lastCPU, lastGPU := hetsim.NoOp, hetsim.NoOp
+	upload := e.uploadInput()
+	prevH2D, prevD2H := hetsim.NoOp, hetsim.NoOp
+
+	for t := 0; t < fronts; t++ {
+		if cpuCount > 0 {
+			lastCPU = e.cpuOp(t, 0, cpuCount, "p1", lastCPU, prevD2H)
+		}
+		if gpuCount > 0 {
+			lastGPU = e.gpuOp(t, cpuCount, cols, "p1", lastGPU, upload, prevH2D)
+		}
+		if cpuCount > 0 && gpuCount > 0 {
+			if needH2D {
+				prevH2D = e.boundary(hetsim.ResCopyH2D, 1, "h2d:boundary", lastCPU)
+			}
+			if needD2H {
+				prevD2H = e.boundary(hetsim.ResCopyD2H, 1, "d2h:boundary", lastGPU)
+			}
+		}
+	}
+
+	if gpuCount > 0 && lastGPU != hetsim.NoOp {
+		e.extract(gpuCount, lastGPU)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import "repro/internal/hetsim"
+
+// runInvertedL executes the two-phase heterogeneous strategy of paper
+// §III-C for inverted-L problems (contributing set {NW}).
+//
+// Fronts shrink with time, so work is shared from the first iteration and
+// the CPU takes over completely for the final tSwitch fronts. Within a
+// front the CPU takes the first tShare cells (the leading row-segment of
+// the L); the boundary cell is shipped to the GPU each iteration, per the
+// paper's one-way transfer scheme (Table II).
+//
+// Note: with {NW} as the only dependency the diagonally sliding split is in
+// fact communication-free, since NW chains never cross it; the per-front
+// transfer here reproduces the paper's stated scheme rather than exploiting
+// that. The framework's default is anyway to solve this class through
+// horizontal case-1, which §V-B measures as faster.
+func runInvertedL[T any](e *heteroExec[T], tSwitch, tShare int) {
+	fronts := e.w.Fronts
+	tSwitch = clampTSwitch(tSwitch, 2*fronts) // phase 2 may cover everything
+	if tSwitch > fronts {
+		tSwitch = fronts
+	}
+	p2Start := fronts - tSwitch
+
+	lastCPU, lastGPU := hetsim.NoOp, hetsim.NoOp
+	upload := e.uploadInput()
+	prevH2D := hetsim.NoOp
+
+	var lastGPUCells int
+	for t := 0; t < p2Start; t++ {
+		size := e.w.Size(t)
+		cpuCount := tShare
+		if cpuCount < 0 {
+			cpuCount = 0
+		}
+		if cpuCount > size {
+			cpuCount = size
+		}
+		gpuCount := size - cpuCount
+
+		if cpuCount > 0 {
+			lastCPU = e.cpuOp(t, 0, cpuCount, "p1", lastCPU)
+		}
+		if gpuCount > 0 {
+			lastGPU = e.gpuOp(t, cpuCount, size, "p1", lastGPU, upload, prevH2D)
+			lastGPUCells = gpuCount
+		}
+		if cpuCount > 0 && gpuCount > 0 {
+			prevH2D = e.boundary(hetsim.ResCopyH2D, 1, "h2d:boundary", lastCPU)
+		}
+	}
+
+	// Phase 1 -> 2 synchronization: the CPU's first full front reads NW
+	// cells of the previous front's GPU part.
+	syncDown := hetsim.NoOp
+	if p2Start > 0 && p2Start < fronts && lastGPU != hetsim.NoOp {
+		syncDown = e.bulk(hetsim.ResCopyD2H, lastGPUCells*e.bpc, "d2h:phase1-sync", lastGPU)
+	}
+
+	// Phase 2: CPU only over the shrinking tail.
+	for t := p2Start; t < fronts; t++ {
+		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "p2", lastCPU, syncDown)
+	}
+
+	if tSwitch == 0 && lastGPU != hetsim.NoOp {
+		e.extract(e.w.Size(fronts-1), lastGPU)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/table"
+)
+
+// SolveParallel fills the DP table using real goroutines on the host: the
+// problem is symmetry-reduced to its canonical pattern and each wavefront
+// is split across workers, with a barrier between fronts. This is the
+// framework's native multicore executor — it produces the same values as
+// Solve and is what the examples use to solve problems for real.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func SolveParallel[T any](p *Problem[T], workers int) (*table.Grid[T], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cp, canonical, _, undo := canonicalize(p)
+	w := NewWavefronts(canonical, cp.Rows, cp.Cols)
+	g := table.NewGrid[T](cp.Rows, cp.Cols, nil)
+	rd := gridReader[T]{g}
+
+	// minChunk keeps tiny fronts on the calling goroutine: below this size
+	// the barrier cost exceeds any parallel gain (the same observation that
+	// motivates the paper's t_switch low-work regions).
+	const minChunk = 256
+
+	var wg sync.WaitGroup
+	for t := 0; t < w.Fronts; t++ {
+		size := w.Size(t)
+		if size <= minChunk || workers == 1 {
+			computeFrontRange(cp, rd, g, w, t, 0, size)
+			continue
+		}
+		chunks := workers
+		if chunks > size/minChunk {
+			chunks = size / minChunk
+		}
+		if chunks < 2 {
+			computeFrontRange(cp, rd, g, w, t, 0, size)
+			continue
+		}
+		per := (size + chunks - 1) / chunks
+		for c := 0; c < chunks; c++ {
+			lo := c * per
+			hi := lo + per
+			if hi > size {
+				hi = size
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				computeFrontRange(cp, rd, g, w, t, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	return undo(g), nil
+}
+
+// computeFrontRange evaluates cells [lo, hi) of front t. Within a front all
+// cells are independent, and all contributing neighbours lie on earlier
+// fronts, so concurrent writers never touch a cell another worker reads.
+func computeFrontRange[T any](p *Problem[T], rd gridReader[T], g *table.Grid[T], w Wavefronts, t, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		i, j := w.Cell(t, k)
+		g.Set(i, j, p.F(i, j, gatherNeighbors(p, rd, i, j)))
+	}
+}

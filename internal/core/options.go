@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/hetsim"
+	"repro/internal/table"
+)
+
+// Options configures the heterogeneous solver and the simulated baselines.
+// The zero value selects the Hetero-High platform, auto-tuned parameters,
+// the pattern's coalescing-friendly layout, and all of the paper's
+// optimizations enabled.
+type Options struct {
+	// Platform is the simulated CPU+GPU node. Nil selects Hetero-High.
+	Platform *hetsim.Platform
+
+	// TSwitch is the number of low-work iterations handled entirely by the
+	// CPU at the start and end of grow-shrink patterns (paper §III, §V-A).
+	// Negative selects the model-derived default (DefaultTSwitch).
+	TSwitch int
+
+	// TShare is the number of cells per iteration assigned to the CPU in
+	// the high-work region (paper §III, §V-A). Negative selects the
+	// model-derived default (DefaultTShare). Zero disables CPU sharing.
+	TShare int
+
+	// Layout overrides the DP-table memory layout. Nil selects the executed
+	// pattern's coalescing-friendly layout (paper §IV-B); choosing a
+	// mismatched layout makes GPU kernels uncoalesced and CPU fronts
+	// strided, which is the coalescing ablation.
+	Layout table.Layout
+
+	// PreferInvertedL forces contributing sets that classify as Inverted-L
+	// to run the genuine inverted-L strategy. By default the framework
+	// solves them with horizontal case-1, which §V-B shows is faster
+	// ("uniformity ... and coalescing-friendly layout makes the horizontal
+	// pattern a better choice").
+	PreferInvertedL bool
+
+	// DisablePipeline places boundary transfers on the GPU's own queue
+	// instead of the DMA engines, modeling synchronous default-stream
+	// copies: the copy/compute overlap of paper §IV-C case 1 is lost.
+	DisablePipeline bool
+
+	// UsePageable routes per-iteration boundary transfers through pageable
+	// instead of pinned memory, the ablation for paper §IV-C case 2.
+	UsePageable bool
+
+	// CPUThreadPerCell spawns one task per cell on the CPU instead of
+	// chunking, the rejected strategy of paper §IV-A.
+	CPUThreadPerCell bool
+
+	// SkipCompute runs only the timing model without evaluating the
+	// recurrence; Result.Grid is nil. The autotuner uses this to sweep
+	// parameters quickly.
+	SkipCompute bool
+}
+
+// withDefaults resolves nil/auto fields against a problem's executed
+// wavefront space.
+func (o Options) withDefaults(w Wavefronts, transfer TransferKind) Options {
+	if o.Platform == nil {
+		o.Platform = hetsim.HeteroHigh()
+	}
+	if o.TSwitch < 0 {
+		o.TSwitch = DefaultTSwitch(o.Platform, w)
+	}
+	if o.TShare < 0 {
+		o.TShare = DefaultTShare(o.Platform, w, transfer)
+	}
+	if o.Layout == nil {
+		o.Layout = w.PreferredLayout()
+	}
+	return o
+}
+
+// Note on ranges: TSwitch and TShare are clamped, not rejected — a TSwitch
+// past half the fronts degenerates to the CPU handling everything, and a
+// TShare past the front width simply assigns whole fronts to the CPU. The
+// tuner relies on sweeping these freely.

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"repro/internal/hetsim"
+)
+
+// DefaultTSwitch derives the low-work threshold from the platform model:
+// the CPU keeps an iteration entirely to itself while its parallel region
+// finishes before a GPU kernel of the same width would (the kernel-launch
+// floor makes the GPU a net loss on narrow fronts). t_switch is the number
+// of leading fronts narrower than that break-even width, capped at half the
+// fronts so the low-work prefix and suffix never overlap.
+//
+// Patterns with constant parallelism (Horizontal) have no low-work region
+// and get 0, as in the paper ("A low work region does not exist in this
+// pattern", §VI-C).
+func DefaultTSwitch(p *hetsim.Platform, w Wavefronts) int {
+	if w.Pattern == Horizontal {
+		return 0
+	}
+	breakEven := breakEvenWidth(p)
+	n := 0
+	for t := 0; t < w.Fronts/2; t++ {
+		if w.Size(t) >= breakEven {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// breakEvenWidth returns the smallest front width for which a GPU kernel
+// outruns a CPU parallel region, by direct evaluation of the two cost
+// models (both are monotone in width).
+func breakEvenWidth(p *hetsim.Platform) int {
+	lo, hi := 1, 1
+	// Exponential search for an upper bound, then binary search.
+	for p.GPU.KernelDuration(hi, true) >= p.CPU.RegionDuration(hi, true) {
+		hi *= 2
+		if hi > 1<<24 {
+			return hi // CPU wins at any realistic width
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.GPU.KernelDuration(mid, true) < p.CPU.RegionDuration(mid, true) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// DefaultTShare picks the CPU's fixed per-iteration slice. A single
+// t_share must serve every high-work front (the paper's parameter is one
+// number per problem, found empirically in §V-A), so the heuristic
+// evaluates candidate values against an analytic per-front cost estimate
+// summed over the whole high-work region and keeps the best. Balancing
+// against the widest front alone — the obvious shortcut — overshoots badly
+// on grow-shrink patterns, where a share sized for the peak width turns
+// the CPU into the bottleneck on the mid-width fronts that dominate the
+// run.
+func DefaultTShare(p *hetsim.Platform, w Wavefronts, transfer TransferKind) int {
+	width := w.MaxWidth()
+	if width <= 1 {
+		return 0
+	}
+	tSwitch := DefaultTSwitch(p, w)
+	// Per-front cost of a fixed share s: both devices run concurrently;
+	// the CPU is held to a slack fraction of the iteration so boundary
+	// transfers hide under the kernel's tail (what makes two-way sharing
+	// profitable at all; see the Figure 13 discussion).
+	slack := 1 / 0.85
+	if transfer == TransferTwoWay {
+		slack = 1 / 0.75
+	}
+	estimate := func(s int) float64 {
+		var total float64
+		for t := tSwitch; t < w.Fronts-tSwitch; t++ {
+			size := w.Size(t)
+			nCPU := min(s, size)
+			cpuT := float64(p.CPU.RegionDuration(nCPU, true)) * slack
+			gpuT := float64(p.GPU.KernelDuration(size-nCPU, true))
+			total += max(cpuT, gpuT)
+		}
+		return total
+	}
+	// Candidates: a coarse grid over [0, width/2] plus the widest-front
+	// balance point; evaluate and keep the argmin.
+	best, bestCost := 0, estimate(0)
+	try := func(s int) {
+		if s <= 0 || s > width/2 {
+			return
+		}
+		if c := estimate(s); c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	for i := 1; i <= 16; i++ {
+		try(width / 2 * i / 16)
+	}
+	try(balancedShare(p, width))
+	return best
+	// Note: on fronts so narrow that a CPU region alone beats the best
+	// split iteration, t_share = width (the whole front on the CPU) would
+	// be optimal. The heuristic deliberately stops at width/2 — the paper's
+	// horizontal strategy always splits, which is exactly what its Figure
+	// 13 measures at small sizes — but the §V-A tuner sweeps t_share up to
+	// the full front width and discovers the degenerate optimum when it
+	// exists (see TestTunedHeteroNeverCatastrophic).
+}
+
+// balancedShare solves cpuTime(s) ~= 0.85 * gpuTime(width - s) by
+// fixed-point iteration: the share at which both devices finish a front of
+// the given width together.
+func balancedShare(p *hetsim.Platform, width int) int {
+	const slack = 0.85
+	s := 0
+	for iter := 0; iter < 8; iter++ {
+		gpuTime := p.GPU.KernelDuration(width-s, true)
+		budget := float64(gpuTime)*slack - float64(p.CPU.DispatchOverhead)
+		if budget <= 0 {
+			return 0
+		}
+		threads := p.CPU.Threads
+		if threads < 1 {
+			threads = 1
+		}
+		next := int(budget / float64(p.CPU.CellCost) * float64(threads))
+		if next > width/2 {
+			next = width / 2
+		}
+		if next == s {
+			break
+		}
+		s = next
+	}
+	return s
+}

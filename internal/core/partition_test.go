@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hetsim"
+)
+
+func TestDefaultTSwitchHorizontalIsZero(t *testing.T) {
+	w := NewWavefronts(Horizontal, 100, 100)
+	if got := DefaultTSwitch(hetsim.HeteroHigh(), w); got != 0 {
+		t.Errorf("horizontal t_switch = %d, want 0 (no low-work region, §VI-C)", got)
+	}
+}
+
+func TestDefaultTSwitchAntiDiagonal(t *testing.T) {
+	p := hetsim.HeteroHigh()
+	w := NewWavefronts(AntiDiagonal, 4096, 4096)
+	got := DefaultTSwitch(p, w)
+	if got <= 0 {
+		t.Fatalf("anti-diagonal t_switch = %d, want > 0", got)
+	}
+	if got > w.Fronts/2 {
+		t.Fatalf("t_switch %d exceeds half the fronts %d", got, w.Fronts/2)
+	}
+	// At the switch point the GPU should be at least competitive.
+	width := w.Size(got)
+	gpu := p.GPU.KernelDuration(width, true)
+	cpu := p.CPU.RegionDuration(width, true)
+	if gpu >= cpu {
+		t.Errorf("at t_switch width %d: gpu %v >= cpu %v; switch point too early", width, gpu, cpu)
+	}
+}
+
+func TestDefaultTSwitchSmallTableDegeneratesToCPU(t *testing.T) {
+	p := hetsim.HeteroHigh()
+	w := NewWavefronts(AntiDiagonal, 64, 64)
+	got := DefaultTSwitch(p, w)
+	if got != w.Fronts/2 {
+		t.Errorf("tiny table t_switch = %d, want cap %d (fronts never wide enough for the GPU)",
+			got, w.Fronts/2)
+	}
+}
+
+func TestBreakEvenWidthOrdering(t *testing.T) {
+	p := hetsim.HeteroHigh()
+	be := breakEvenWidth(p)
+	if be <= 1 {
+		t.Fatalf("break-even width = %d; the launch floor must make tiny kernels lose", be)
+	}
+	if p.GPU.KernelDuration(be, true) >= p.CPU.RegionDuration(be, true) {
+		t.Error("GPU should win at the break-even width")
+	}
+	if be > 1 && p.GPU.KernelDuration(be-1, true) < p.CPU.RegionDuration(be-1, true) {
+		t.Error("GPU should lose just below the break-even width")
+	}
+}
+
+func TestDefaultTShareBounds(t *testing.T) {
+	p := hetsim.HeteroHigh()
+	for _, dims := range [][2]int{{512, 512}, {4096, 4096}, {64, 8192}} {
+		w := NewWavefronts(Horizontal, dims[0], dims[1])
+		s := DefaultTShare(p, w, TransferOneWay)
+		if s < 0 || s > w.MaxWidth()/2 {
+			t.Errorf("%v: t_share = %d outside [0, width/2]", dims, s)
+		}
+	}
+}
+
+func TestDefaultTShareBalances(t *testing.T) {
+	p := hetsim.HeteroHigh()
+	w := NewWavefronts(Horizontal, 4096, 4096)
+	s := DefaultTShare(p, w, TransferOneWay)
+	if s == 0 {
+		t.Fatal("t_share = 0 on a wide table; CPU should get a slice")
+	}
+	// The CPU's slice must finish no later than the GPU's kernel: the share
+	// may not turn the CPU into the per-iteration bottleneck.
+	cpu := p.CPU.RegionDuration(s, true)
+	gpu := p.GPU.KernelDuration(w.MaxWidth()-s, true)
+	if cpu > gpu {
+		t.Errorf("cpu slice %v exceeds gpu kernel %v at share %d", cpu, gpu, s)
+	}
+}
+
+func TestDefaultTShareTwoWaySmaller(t *testing.T) {
+	p := hetsim.HeteroHigh()
+	w := NewWavefronts(Horizontal, 4096, 4096)
+	one := DefaultTShare(p, w, TransferOneWay)
+	two := DefaultTShare(p, w, TransferTwoWay)
+	if two > one {
+		t.Errorf("two-way share %d > one-way share %d; two-way must be more conservative", two, one)
+	}
+}
+
+func TestDefaultTShareTinyFront(t *testing.T) {
+	p := hetsim.HeteroLow()
+	w := NewWavefronts(Horizontal, 4, 1)
+	if s := DefaultTShare(p, w, TransferNone); s != 0 {
+		t.Errorf("width-1 t_share = %d, want 0", s)
+	}
+}
+
+func TestClampTSwitch(t *testing.T) {
+	cases := []struct{ in, fronts, want int }{
+		{-3, 10, 0}, {0, 10, 0}, {4, 10, 4}, {5, 10, 5}, {6, 10, 5}, {100, 10, 5},
+	}
+	for _, c := range cases {
+		if got := clampTSwitch(c.in, c.fronts); got != c.want {
+			t.Errorf("clampTSwitch(%d,%d) = %d, want %d", c.in, c.fronts, got, c.want)
+		}
+	}
+}

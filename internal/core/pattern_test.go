@@ -1,0 +1,194 @@
+package core
+
+import "testing"
+
+// TestTableI reproduces paper Table I verbatim: all 15 contributing sets
+// (columns W=cell[i][j-1], NW=cell[i-1][j-1], N=cell[i-1][j],
+// NE=cell[i-1][j+1]) and their patterns, in the paper's row order.
+func TestTableI(t *testing.T) {
+	rows := []struct {
+		w, nw, n, ne bool
+		want         Pattern
+	}{
+		{false, false, false, true, MInvertedL},
+		{false, false, true, false, Horizontal},
+		{false, false, true, true, Horizontal},
+		{false, true, false, false, InvertedL},
+		{false, true, false, true, Horizontal},
+		{false, true, true, false, Horizontal},
+		{false, true, true, true, Horizontal},
+		{true, false, false, false, Vertical},
+		{true, false, false, true, KnightMove},
+		{true, false, true, false, AntiDiagonal},
+		{true, false, true, true, KnightMove},
+		{true, true, false, false, Vertical},
+		{true, true, false, true, KnightMove},
+		{true, true, true, false, AntiDiagonal},
+		{true, true, true, true, KnightMove},
+	}
+	if len(rows) != 15 {
+		t.Fatal("Table I must have 15 rows")
+	}
+	for _, r := range rows {
+		var m DepMask
+		if r.w {
+			m |= DepW
+		}
+		if r.nw {
+			m |= DepNW
+		}
+		if r.n {
+			m |= DepN
+		}
+		if r.ne {
+			m |= DepNE
+		}
+		if got := Classify(m); got != r.want {
+			t.Errorf("Classify(%s) = %s, want %s", m, got, r.want)
+		}
+	}
+}
+
+// TestTableII reproduces paper Table II: the transfer need per pattern.
+// The table lists one row per pattern; we check every mask of each pattern
+// against its row, with horizontal's three sub-cases resolved per §III-B.
+func TestTableII(t *testing.T) {
+	for _, m := range AllDepMasks() {
+		var want TransferKind
+		switch Classify(m) {
+		case AntiDiagonal, InvertedL, MInvertedL:
+			want = TransferOneWay
+		case KnightMove:
+			want = TransferTwoWay
+		case Horizontal:
+			switch {
+			case m.Has(DepNW) && m.Has(DepNE):
+				want = TransferTwoWay
+			case m == DepN:
+				want = TransferNone
+			default:
+				want = TransferOneWay
+			}
+		case Vertical:
+			if m == DepW {
+				want = TransferNone
+			} else {
+				want = TransferOneWay
+			}
+		}
+		if got := TransferNeed(m); got != want {
+			t.Errorf("TransferNeed(%s) = %s, want %s", m, got, want)
+		}
+	}
+}
+
+func TestTableIIRepresentativeRows(t *testing.T) {
+	// The literal rows of Table II, one representative mask per pattern.
+	cases := []struct {
+		m    DepMask
+		want TransferKind
+	}{
+		{DepW | DepN, TransferOneWay},                 // Anti-diagonal: 1 way
+		{DepNW | DepN, TransferOneWay},                // Horizontal case-1: 1 way
+		{DepNW | DepN | DepNE, TransferTwoWay},        // Horizontal case-2: 2 way
+		{DepNW, TransferOneWay},                       // Inverted-L: 1 way
+		{DepW | DepNE, TransferTwoWay},                // Knight-Move: 2 way
+		{DepN, TransferNone},                          // Horizontal {N}: no transfer (§III-B)
+		{DepW | DepNW | DepN | DepNE, TransferTwoWay}, // full set is knight
+	}
+	for _, c := range cases {
+		if got := TransferNeed(c.m); got != c.want {
+			t.Errorf("TransferNeed(%s) = %s, want %s", c.m, got, c.want)
+		}
+	}
+}
+
+func TestClassifyPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Classify(0)
+}
+
+func TestCanonicalPattern(t *testing.T) {
+	cases := []struct {
+		in        Pattern
+		canonical Pattern
+		reduction Reduction
+	}{
+		{AntiDiagonal, AntiDiagonal, ReduceNone},
+		{Horizontal, Horizontal, ReduceNone},
+		{InvertedL, InvertedL, ReduceNone},
+		{KnightMove, KnightMove, ReduceNone},
+		{Vertical, Horizontal, ReduceTranspose},
+		{MInvertedL, InvertedL, ReduceMirror},
+	}
+	for _, c := range cases {
+		canon, red := CanonicalPattern(c.in)
+		if canon != c.canonical || red != c.reduction {
+			t.Errorf("CanonicalPattern(%s) = %s, %s; want %s, %s",
+				c.in, canon, red, c.canonical, c.reduction)
+		}
+	}
+}
+
+// The paper reduces six patterns to four distinct execution strategies.
+func TestFourDistinctCanonicalPatterns(t *testing.T) {
+	seen := map[Pattern]bool{}
+	for _, m := range AllDepMasks() {
+		canon, _ := CanonicalPattern(Classify(m))
+		seen[canon] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("canonical patterns = %v, want exactly 4", seen)
+	}
+	for _, want := range []Pattern{AntiDiagonal, Horizontal, InvertedL, KnightMove} {
+		if !seen[want] {
+			t.Errorf("canonical pattern %s missing", want)
+		}
+	}
+}
+
+// Symmetry consistency: classifying a transposed mask gives the pattern's
+// transposed partner, and likewise for mirroring.
+func TestClassifySymmetryConsistency(t *testing.T) {
+	if Classify(DepW.Transpose()) != Horizontal {
+		t.Error("transposed Vertical mask should classify Horizontal")
+	}
+	if Classify((DepW | DepNW).Transpose()) != Horizontal {
+		t.Error("transposed {W,NW} should classify Horizontal")
+	}
+	if Classify(DepNE.MirrorColumns()) != InvertedL {
+		t.Error("mirrored mInverted-L mask should classify Inverted-L")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	names := map[Pattern]string{
+		AntiDiagonal: "Anti-diagonal",
+		Horizontal:   "Horizontal",
+		InvertedL:    "Inverted-L",
+		KnightMove:   "Knight-Move",
+		Vertical:     "Vertical",
+		MInvertedL:   "mInverted-L",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("Pattern(%d).String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestTransferKindString(t *testing.T) {
+	if TransferNone.String() != "none" || TransferOneWay.String() != "1 way" || TransferTwoWay.String() != "2 way" {
+		t.Error("TransferKind strings wrong")
+	}
+}
+
+func TestReductionString(t *testing.T) {
+	if ReduceNone.String() != "none" || ReduceTranspose.String() != "transpose" || ReduceMirror.String() != "mirror" {
+		t.Error("Reduction strings wrong")
+	}
+}

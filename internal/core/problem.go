@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Neighbors carries the resolved values of the representative cells for one
+// evaluation of the recurrence. Out-of-table neighbours are resolved
+// through the problem's Boundary function; neighbours outside the
+// contributing set hold unspecified values and must not be read.
+type Neighbors[T any] struct {
+	W, NW, N, NE T
+}
+
+// CellFunc is the user-supplied recurrence: the value of cell (i, j) given
+// its contributing neighbours. It corresponds to the "function f" of the
+// paper's framework interface (§V-C).
+type CellFunc[T any] func(i, j int, nb Neighbors[T]) T
+
+// BoundaryFunc supplies the value observed when a contributing neighbour
+// falls outside the table (i < 0, j < 0 or j >= cols). It corresponds to
+// the "Initialization" half of the framework interface (§V-C).
+type BoundaryFunc[T any] func(i, j int) T
+
+// Problem is a complete LDDP-Plus problem instance.
+type Problem[T any] struct {
+	// Name is used in reports.
+	Name string
+	// Rows and Cols give the DP-table dimensions.
+	Rows, Cols int
+	// Deps is the contributing set read by F.
+	Deps DepMask
+	// F computes cell (i, j) from its contributing neighbours.
+	F CellFunc[T]
+	// Boundary resolves out-of-table neighbour reads. Nil means the zero
+	// value of T.
+	Boundary BoundaryFunc[T]
+	// BytesPerCell sizes boundary and bulk transfers in the simulated
+	// platform. Zero means 8 (one 64-bit word per cell).
+	BytesPerCell int
+	// InputBytes is the size of the problem input that must be uploaded to
+	// the device before GPU execution (e.g. the cost grid of the
+	// checkerboard problem or the source image for dithering). Zero means
+	// the input is negligibly small (e.g. two strings).
+	InputBytes int
+}
+
+// Validate reports whether the problem is well-formed.
+func (p *Problem[T]) Validate() error {
+	var errs []error
+	if p.Rows <= 0 || p.Cols <= 0 {
+		errs = append(errs, fmt.Errorf("core: table size %dx%d invalid", p.Rows, p.Cols))
+	}
+	if !p.Deps.Valid() {
+		errs = append(errs, fmt.Errorf("core: contributing set %s invalid", p.Deps))
+	}
+	if p.F == nil {
+		errs = append(errs, errors.New("core: recurrence F is nil"))
+	}
+	if p.BytesPerCell < 0 {
+		errs = append(errs, fmt.Errorf("core: BytesPerCell %d negative", p.BytesPerCell))
+	}
+	if p.InputBytes < 0 {
+		errs = append(errs, fmt.Errorf("core: InputBytes %d negative", p.InputBytes))
+	}
+	return errors.Join(errs...)
+}
+
+// Pattern returns the problem's dependency pattern per paper Table I.
+func (p *Problem[T]) Pattern() Pattern { return Classify(p.Deps) }
+
+// bytesPerCell returns the effective cell size for transfer modeling.
+func (p *Problem[T]) bytesPerCell() int {
+	if p.BytesPerCell <= 0 {
+		return 8
+	}
+	return p.BytesPerCell
+}
+
+// boundary resolves the boundary function, defaulting to the zero value.
+func (p *Problem[T]) boundary(i, j int) T {
+	if p.Boundary == nil {
+		var zero T
+		return zero
+	}
+	return p.Boundary(i, j)
+}
+
+// cellReader abstracts reading already-computed cells; implemented by the
+// grid wrappers in the solvers.
+type cellReader[T any] interface {
+	at(i, j int) T
+	inBounds(i, j int) bool
+}
+
+// gatherNeighbors resolves the contributing neighbours of (i, j), reading
+// computed cells from rd and boundary values from the problem. Only the
+// neighbours present in Deps are filled; the rest stay zero.
+func gatherNeighbors[T any](p *Problem[T], rd cellReader[T], i, j int) Neighbors[T] {
+	var nb Neighbors[T]
+	read := func(ni, nj int) T {
+		if rd.inBounds(ni, nj) {
+			return rd.at(ni, nj)
+		}
+		return p.boundary(ni, nj)
+	}
+	if p.Deps.Has(DepW) {
+		nb.W = read(i, j-1)
+	}
+	if p.Deps.Has(DepNW) {
+		nb.NW = read(i-1, j-1)
+	}
+	if p.Deps.Has(DepN) {
+		nb.N = read(i-1, j)
+	}
+	if p.Deps.Has(DepNE) {
+		nb.NE = read(i-1, j+1)
+	}
+	return nb
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// 3-D LDDP-Plus. The paper defines the class for k >= 2 dimensional tables
+// and then restricts its treatment to k = 2 "for simplicity"; this file
+// carries the framework to k = 3. The representative set generalizes to
+// the seven predecessor corners of the unit cube — the offsets in
+// {0,-1}^3 minus the origin — all of which strictly decrease the plane
+// index s = i+j+k, so anti-diagonal planes are a dependency-safe wavefront
+// for every contributing set, the direct analogue of the 2-D
+// anti-diagonal pattern.
+
+// Dep3Mask is the 3-D contributing set over the seven predecessor corners.
+type Dep3Mask uint8
+
+const (
+	// Dep3X is (i-1, j, k).
+	Dep3X Dep3Mask = 1 << iota
+	// Dep3Y is (i, j-1, k).
+	Dep3Y
+	// Dep3Z is (i, j, k-1).
+	Dep3Z
+	// Dep3XY is (i-1, j-1, k).
+	Dep3XY
+	// Dep3XZ is (i-1, j, k-1).
+	Dep3XZ
+	// Dep3YZ is (i, j-1, k-1).
+	Dep3YZ
+	// Dep3XYZ is (i-1, j-1, k-1).
+	Dep3XYZ
+)
+
+const dep3All = Dep3X | Dep3Y | Dep3Z | Dep3XY | Dep3XZ | Dep3YZ | Dep3XYZ
+
+// dep3Offsets maps each bit to its coordinate offset.
+var dep3Offsets = map[Dep3Mask][3]int{
+	Dep3X: {-1, 0, 0}, Dep3Y: {0, -1, 0}, Dep3Z: {0, 0, -1},
+	Dep3XY: {-1, -1, 0}, Dep3XZ: {-1, 0, -1}, Dep3YZ: {0, -1, -1},
+	Dep3XYZ: {-1, -1, -1},
+}
+
+// Has reports whether all bits of q are present.
+func (m Dep3Mask) Has(q Dep3Mask) bool { return m&q == q }
+
+// Valid reports whether the mask is a non-empty subset of the seven
+// predecessor corners.
+func (m Dep3Mask) Valid() bool { return m != 0 && m&^dep3All == 0 }
+
+// String renders the mask, e.g. "{X,Y,XYZ}".
+func (m Dep3Mask) String() string {
+	names := []struct {
+		bit  Dep3Mask
+		name string
+	}{
+		{Dep3X, "X"}, {Dep3Y, "Y"}, {Dep3Z, "Z"},
+		{Dep3XY, "XY"}, {Dep3XZ, "XZ"}, {Dep3YZ, "YZ"}, {Dep3XYZ, "XYZ"},
+	}
+	var parts []string
+	for _, n := range names {
+		if m.Has(n.bit) {
+			parts = append(parts, n.name)
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Neighbors3 carries the resolved predecessor values for one evaluation.
+type Neighbors3[T any] struct {
+	X, Y, Z, XY, XZ, YZ, XYZ T
+}
+
+// Problem3 is a 3-D LDDP-Plus problem instance.
+type Problem3[T any] struct {
+	Name       string
+	NX, NY, NZ int
+	Deps       Dep3Mask
+	F          func(i, j, k int, nb Neighbors3[T]) T
+	// Boundary resolves out-of-box neighbour reads; nil means zero T.
+	Boundary     func(i, j, k int) T
+	BytesPerCell int
+	InputBytes   int
+}
+
+// Validate reports whether the problem is well-formed.
+func (p *Problem3[T]) Validate() error {
+	var errs []error
+	if p.NX <= 0 || p.NY <= 0 || p.NZ <= 0 {
+		errs = append(errs, fmt.Errorf("core: box %dx%dx%d invalid", p.NX, p.NY, p.NZ))
+	}
+	if !p.Deps.Valid() {
+		errs = append(errs, fmt.Errorf("core: 3-D contributing set %s invalid", p.Deps))
+	}
+	if p.F == nil {
+		errs = append(errs, errors.New("core: recurrence F is nil"))
+	}
+	return errors.Join(errs...)
+}
+
+func (p *Problem3[T]) bytesPerCell() int {
+	if p.BytesPerCell <= 0 {
+		return 8
+	}
+	return p.BytesPerCell
+}
+
+func (p *Problem3[T]) boundary(i, j, k int) T {
+	if p.Boundary == nil {
+		var zero T
+		return zero
+	}
+	return p.Boundary(i, j, k)
+}
+
+// gather3 resolves the contributing predecessors of (i, j, k).
+func gather3[T any](p *Problem3[T], g *table.Grid3[T], i, j, k int) Neighbors3[T] {
+	var nb Neighbors3[T]
+	read := func(off [3]int) T {
+		ni, nj, nk := i+off[0], j+off[1], k+off[2]
+		if g.InBounds(ni, nj, nk) {
+			return g.At(ni, nj, nk)
+		}
+		return p.boundary(ni, nj, nk)
+	}
+	if p.Deps.Has(Dep3X) {
+		nb.X = read(dep3Offsets[Dep3X])
+	}
+	if p.Deps.Has(Dep3Y) {
+		nb.Y = read(dep3Offsets[Dep3Y])
+	}
+	if p.Deps.Has(Dep3Z) {
+		nb.Z = read(dep3Offsets[Dep3Z])
+	}
+	if p.Deps.Has(Dep3XY) {
+		nb.XY = read(dep3Offsets[Dep3XY])
+	}
+	if p.Deps.Has(Dep3XZ) {
+		nb.XZ = read(dep3Offsets[Dep3XZ])
+	}
+	if p.Deps.Has(Dep3YZ) {
+		nb.YZ = read(dep3Offsets[Dep3YZ])
+	}
+	if p.Deps.Has(Dep3XYZ) {
+		nb.XYZ = read(dep3Offsets[Dep3XYZ])
+	}
+	return nb
+}
+
+// Planes returns the number of anti-diagonal planes of the box.
+func (p *Problem3[T]) Planes() int { return p.NX + p.NY + p.NZ - 2 }

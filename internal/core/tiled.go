@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/table"
+)
+
+// SolveTiled fills the DP table with the cache-efficient tiled scheme of
+// the CPU-only line of work the paper builds on (Chowdhury & Ramachandran's
+// CMP algorithms): the table is partitioned into blocks, blocks are
+// scheduled along *block-level* wavefronts, blocks on a front run on
+// separate goroutines, and each block is filled sequentially in row-major
+// order for locality.
+//
+// Block-level dependencies are coarser than cell-level ones: a cell's NW
+// neighbour can live in the block to the *west* (same block row), so the
+// block mask must be derived from the cell mask (deriveBlockMask), not
+// copied. Masks containing NE are special: a non-top-row cell's NE
+// neighbour can live in the block to the *east*, which no forward block
+// order satisfies — those problems tile into 1-row-high strips instead,
+// under which every dependency points to the current or previous row of
+// blocks.
+//
+// This is the framework's multicore *baseline*: SolveParallel
+// barrier-synchronizes every cell wavefront, while SolveTiled barriers once
+// per block wavefront and touches memory block by block.
+func SolveTiled[T any](p *Problem[T], tile, workers int) (*table.Grid[T], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if tile < 1 {
+		return nil, fmt.Errorf("core: tile size %d < 1", tile)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cp, _, _, undo := canonicalize(p)
+
+	g := table.NewGrid[T](cp.Rows, cp.Cols, nil)
+	rd := gridReader[T]{g}
+
+	tileRows, tileCols := tile, tile
+	if cp.Deps.Has(DepNE) {
+		tileRows = 1
+	}
+	blockRows := (cp.Rows + tileRows - 1) / tileRows
+	blockCols := (cp.Cols + tileCols - 1) / tileCols
+
+	blockMask := deriveBlockMask(cp.Deps, tileRows)
+	blockPattern, _ := CanonicalPattern(Classify(blockMask))
+	bw := NewWavefronts(blockPattern, blockRows, blockCols)
+
+	fillBlock := func(bi, bj int) {
+		iLo, iHi := bi*tileRows, min((bi+1)*tileRows, cp.Rows)
+		jLo, jHi := bj*tileCols, min((bj+1)*tileCols, cp.Cols)
+		for i := iLo; i < iHi; i++ {
+			for j := jLo; j < jHi; j++ {
+				g.Set(i, j, cp.F(i, j, gatherNeighbors(cp, rd, i, j)))
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for t := 0; t < bw.Fronts; t++ {
+		size := bw.Size(t)
+		if size == 1 || workers == 1 {
+			for k := 0; k < size; k++ {
+				bi, bj := bw.Cell(t, k)
+				fillBlock(bi, bj)
+			}
+			continue
+		}
+		for k := 0; k < size; k++ {
+			bi, bj := bw.Cell(t, k)
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(bi, bj int) {
+				defer wg.Done()
+				fillBlock(bi, bj)
+				<-sem
+			}(bi, bj)
+		}
+		wg.Wait()
+	}
+	return undo(g), nil
+}
+
+// deriveBlockMask lifts a cell-level contributing set to block
+// granularity: for each cell dependency offset, the union of block offsets
+// it can land in, excluding the block itself. tileRows == 1 guarantees the
+// NE offset never lands in the same block row's east block (the caller
+// enforces this for NE-containing masks).
+//
+//	cell W  (0,-1)  -> block W
+//	cell NW (-1,-1) -> blocks W, NW, N   (W only when tileRows > 1)
+//	cell N  (-1,0)  -> block N
+//	cell NE (-1,1)  -> blocks N, NE      (requires tileRows == 1)
+func deriveBlockMask(m DepMask, tileRows int) DepMask {
+	var out DepMask
+	if m.Has(DepW) {
+		out |= DepW
+	}
+	if m.Has(DepNW) {
+		out |= DepNW | DepN
+		if tileRows > 1 {
+			out |= DepW
+		}
+	}
+	if m.Has(DepN) {
+		out |= DepN
+	}
+	if m.Has(DepNE) {
+		if tileRows > 1 {
+			panic("core: NE-containing masks require 1-row tiles")
+		}
+		out |= DepN | DepNE
+	}
+	return out
+}
+
+// DefaultTile returns the largest tile size whose block (tile x tile cells
+// at bytesPerCell each) still fits a typical per-core L2 slice of 256 KiB.
+func DefaultTile(bytesPerCell int) int {
+	if bytesPerCell <= 0 {
+		bytesPerCell = 8
+	}
+	const budget = 256 << 10
+	t := 1
+	for (t+1)*(t+1)*bytesPerCell <= budget {
+		t++
+	}
+	return t
+}

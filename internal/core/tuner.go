@@ -1,0 +1,178 @@
+package core
+
+import (
+	"time"
+)
+
+// TunePoint is one sample of a parameter sweep.
+type TunePoint struct {
+	Value int
+	Time  time.Duration
+}
+
+// TuneResult holds the outcome of the empirical parameter search of paper
+// §V-A, including both sweep curves (Figure 7 plots the first one).
+type TuneResult struct {
+	TSwitch, TShare int
+	// Time is the simulated duration at the chosen parameters.
+	Time time.Duration
+	// SwitchCurve is the t_switch sweep at t_share = 0.
+	SwitchCurve []TunePoint
+	// ShareCurve is the t_share sweep at the chosen t_switch.
+	ShareCurve []TunePoint
+}
+
+// Tune finds good t_switch and t_share values exactly the way the paper
+// does (§V-A): first fix t_share = 0 and sweep t_switch — the running time
+// traces a concave-up curve whose minimum is the chosen t_switch (Figure
+// 7) — then fix that t_switch and sweep t_share the same way. Sweeps run
+// with Options.SkipCompute, so only the timing model is evaluated; the
+// sweep is a coarse grid followed by a local refinement around the best
+// coarse point.
+func Tune[T any](p *Problem[T], opts Options) (*TuneResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cp, canonical, _, _ := canonicalize(p)
+	executed := canonical
+	if canonical == InvertedL && !opts.PreferInvertedL {
+		executed = Horizontal
+	}
+	w := NewWavefronts(executed, cp.Rows, cp.Cols)
+
+	probe := opts
+	probe.SkipCompute = true
+
+	eval := func(tSwitch, tShare int) (time.Duration, error) {
+		o := probe
+		o.TSwitch = tSwitch
+		o.TShare = tShare
+		r, err := SolveHetero(p, o)
+		if err != nil {
+			return 0, err
+		}
+		return r.Time, nil
+	}
+
+	res := &TuneResult{}
+
+	// t_switch sweep at t_share = 0. Horizontal patterns have no low-work
+	// region; their curve is the single point 0.
+	maxSwitch := w.Fronts / 2
+	if executed == Horizontal {
+		maxSwitch = 0
+	}
+	best, curve, err := sweep(maxSwitch, func(v int) (time.Duration, error) {
+		return eval(v, 0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.TSwitch = best
+	res.SwitchCurve = curve
+
+	// t_share sweep at the chosen t_switch.
+	maxShare := w.MaxWidth()
+	bestShare, shareCurve, err := sweep(maxShare, func(v int) (time.Duration, error) {
+		return eval(res.TSwitch, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.TShare = bestShare
+	res.ShareCurve = shareCurve
+
+	res.Time, err = eval(res.TSwitch, res.TShare)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// sweep samples f on a coarse grid over [0, max], then refines linearly
+// around the best coarse point. It returns the best value found and every
+// sampled point in ascending parameter order.
+func sweep(max int, f func(int) (time.Duration, error)) (int, []TunePoint, error) {
+	if max <= 0 {
+		t, err := f(0)
+		if err != nil {
+			return 0, nil, err
+		}
+		return 0, []TunePoint{{0, t}}, nil
+	}
+	const coarsePoints = 17
+	step := max / (coarsePoints - 1)
+	if step < 1 {
+		step = 1
+	}
+	sampled := map[int]time.Duration{}
+	sample := func(v int) (time.Duration, error) {
+		if v < 0 {
+			v = 0
+		}
+		if v > max {
+			v = max
+		}
+		if t, ok := sampled[v]; ok {
+			return t, nil
+		}
+		t, err := f(v)
+		if err != nil {
+			return 0, err
+		}
+		sampled[v] = t
+		return t, nil
+	}
+
+	bestV, bestT := 0, time.Duration(1<<62)
+	for v := 0; v <= max; v += step {
+		t, err := sample(v)
+		if err != nil {
+			return 0, nil, err
+		}
+		if t < bestT {
+			bestV, bestT = v, t
+		}
+	}
+	// The coarse grid can step over max; sample the endpoint explicitly —
+	// it is the degenerate all-on-CPU configuration for t_share sweeps and
+	// must always be reachable.
+	if t, err := sample(max); err != nil {
+		return 0, nil, err
+	} else if t < bestT {
+		bestV, bestT = max, t
+	}
+	// Refine around the coarse optimum with ~8 finer samples per side.
+	fine := step / 8
+	if fine < 1 {
+		fine = 1
+	}
+	for v := bestV - step + fine; v < bestV+step; v += fine {
+		if v < 0 || v > max {
+			continue
+		}
+		t, err := sample(v)
+		if err != nil {
+			return 0, nil, err
+		}
+		if t < bestT {
+			bestV, bestT = v, t
+		}
+	}
+
+	curve := make([]TunePoint, 0, len(sampled))
+	for v, t := range sampled {
+		curve = append(curve, TunePoint{v, t})
+	}
+	sortTunePoints(curve)
+	return bestV, curve, nil
+}
+
+func sortTunePoints(ps []TunePoint) {
+	// Insertion sort: curves are small and this avoids an import.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Value < ps[j-1].Value; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

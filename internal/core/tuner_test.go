@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTuneLevenshteinConcaveCurve(t *testing.T) {
+	// Paper Figure 7: the t_switch sweep (t_share = 0) of an anti-diagonal
+	// problem traces a concave-up curve whose interior minimum beats both
+	// extremes.
+	p := levenshteinLike(1024)
+	res, err := Tune(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SwitchCurve) < 5 {
+		t.Fatalf("switch curve has only %d points", len(res.SwitchCurve))
+	}
+	first := res.SwitchCurve[0]
+	last := res.SwitchCurve[len(res.SwitchCurve)-1]
+	var best TunePoint
+	best.Time = time.Duration(1 << 62)
+	for _, pt := range res.SwitchCurve {
+		if pt.Time < best.Time {
+			best = pt
+		}
+	}
+	if first.Value != 0 {
+		t.Errorf("curve should start at t_switch=0, got %d", first.Value)
+	}
+	if best.Time >= first.Time || best.Time > last.Time {
+		t.Errorf("minimum %v@%d does not beat endpoints %v@%d / %v@%d",
+			best.Time, best.Value, first.Time, first.Value, last.Time, last.Value)
+	}
+	if res.TSwitch != best.Value {
+		t.Errorf("Tune chose t_switch=%d, curve minimum is %d", res.TSwitch, best.Value)
+	}
+}
+
+func TestTuneBeatsDefaults(t *testing.T) {
+	p := levenshteinLike(2048)
+	tuned, err := Tune(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := SolveHetero(p, Options{TSwitch: -1, TShare: -1, SkipCompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tuner sampled the whole space; it must not lose to the heuristic.
+	if tuned.Time > def.Time {
+		t.Errorf("tuned %v worse than heuristic default %v", tuned.Time, def.Time)
+	}
+}
+
+func TestTuneHorizontalSkipsSwitchSweep(t *testing.T) {
+	p := horizontalCase2(512)
+	res, err := Tune(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TSwitch != 0 {
+		t.Errorf("horizontal tune chose t_switch=%d, want 0", res.TSwitch)
+	}
+	if len(res.SwitchCurve) != 1 {
+		t.Errorf("horizontal switch curve has %d points, want 1", len(res.SwitchCurve))
+	}
+	if len(res.ShareCurve) < 5 {
+		t.Errorf("share curve has only %d points", len(res.ShareCurve))
+	}
+}
+
+func TestTuneCurveSorted(t *testing.T) {
+	p := knightLike(256)
+	res, err := Tune(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, curve := range [][]TunePoint{res.SwitchCurve, res.ShareCurve} {
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Value <= curve[i-1].Value {
+				t.Fatalf("curve not strictly ascending at %d: %v", i, curve[i-1:i+1])
+			}
+		}
+	}
+}
+
+func TestTuneValidates(t *testing.T) {
+	if _, err := Tune(&Problem[int64]{Rows: 0, Cols: 1, Deps: DepN}, Options{}); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestTuneResultTimeMatchesChosenParams(t *testing.T) {
+	p := levenshteinLike(512)
+	res, err := Tune(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := SolveHetero(p, Options{TSwitch: res.TSwitch, TShare: res.TShare, SkipCompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Time != res.Time {
+		t.Errorf("Tune.Time %v != re-run %v at chosen params", res.Time, check.Time)
+	}
+}

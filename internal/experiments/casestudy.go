@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hetsim"
+)
+
+// TriTimes holds the three implementations' simulated times at one size,
+// the unit every case-study figure plots.
+type TriTimes struct {
+	Size      int
+	CPU       time.Duration
+	GPU       time.Duration
+	Framework time.Duration
+	TSwitch   int
+	TShare    int
+}
+
+// triMeasure times the CPU-only, GPU-only, and framework solves of one
+// problem on one platform, with auto parameters and without evaluating the
+// recurrence.
+func triMeasure[T any](p *core.Problem[T], plat *hetsim.Platform) (TriTimes, error) {
+	o := core.Options{Platform: plat, TSwitch: -1, TShare: -1, SkipCompute: true}
+	rc, err := core.SolveCPUOnly(p, o)
+	if err != nil {
+		return TriTimes{}, err
+	}
+	rg, err := core.SolveGPUOnly(p, o)
+	if err != nil {
+		return TriTimes{}, err
+	}
+	rh, err := core.SolveHetero(p, o)
+	if err != nil {
+		return TriTimes{}, err
+	}
+	return TriTimes{
+		CPU: rc.Time, GPU: rg.Time, Framework: rh.Time,
+		TSwitch: rh.TSwitch, TShare: rh.TShare,
+	}, nil
+}
+
+// CaseStudySeries runs a case-study sweep: for each platform and size,
+// the three implementations' times. build constructs the problem for a
+// size.
+func CaseStudySeries[T any](sizes []int, build func(size int) *core.Problem[T]) (map[string][]TriTimes, error) {
+	out := map[string][]TriTimes{}
+	for _, plat := range hetsim.Platforms() {
+		for _, n := range sizes {
+			tt, err := triMeasure(build(n), plat)
+			if err != nil {
+				return nil, fmt.Errorf("%s size %d: %w", plat.Name, n, err)
+			}
+			tt.Size = n
+			out[plat.Name] = append(out[plat.Name], tt)
+		}
+	}
+	return out, nil
+}
+
+// caseStudyTables renders a CaseStudySeries result in paper form: one table
+// per platform with CPU/GPU/Framework columns and the GPU/framework
+// speedup.
+func caseStudyTables(title string, series map[string][]TriTimes) []Table {
+	var tables []Table
+	for _, plat := range hetsim.Platforms() {
+		t := Table{
+			Title:  fmt.Sprintf("%s — %s", title, plat.Name),
+			Header: []string{"size", "cpu", "gpu", "framework", "gpu/fw", "t_switch", "t_share"},
+		}
+		for _, tt := range series[plat.Name] {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%dx%d", tt.Size, tt.Size),
+				fd(tt.CPU), fd(tt.GPU), fd(tt.Framework),
+				ratio(tt.GPU, tt.Framework),
+				fmt.Sprintf("%d", tt.TSwitch), fmt.Sprintf("%d", tt.TShare),
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// figSizes returns the sweep sizes for a figure; quick mode shrinks them.
+func figSizes(cfg Config, full []int) []int {
+	if cfg.Quick {
+		return []int{128, 256}
+	}
+	return full
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hetsim"
+	"repro/internal/plot"
+	"repro/internal/problems"
+	"repro/internal/workload"
+)
+
+// Charts regenerates the paper's measured figures as actual SVG line
+// charts, keyed by file stem (e.g. "fig10-hetero-high"). cmd/lddpbench
+// writes them with -svg.
+func Charts(cfg Config) (map[string]*plot.Chart, error) {
+	out := map[string]*plot.Chart{}
+
+	// Figure 7: the t_switch sweep curve.
+	n := 4096
+	if cfg.Quick {
+		n = 2048
+	}
+	a, b := workload.SimilarStrings(cfg.Seed, n-1, workload.DNAAlphabet, 0.3)
+	tuned, err := core.Tune(problems.LCS(a, b), core.Options{Platform: hetsim.HeteroHigh()})
+	if err != nil {
+		return nil, err
+	}
+	fig7 := &plot.Chart{
+		Title:  fmt.Sprintf("Figure 7: LCS %dx%d time vs t_switch (t_share=0)", n, n),
+		XLabel: "t_switch (iterations)",
+		YLabel: "time (ms)",
+	}
+	var xs, ys []float64
+	for _, pt := range tuned.SwitchCurve {
+		xs = append(xs, float64(pt.Value))
+		ys = append(ys, pt.Time.Seconds()*1e3)
+	}
+	fig7.Series = []plot.Series{{Name: "framework", X: xs, Y: ys}}
+	out["fig7"] = fig7
+
+	// Case-study figures: one chart per figure and platform.
+	for _, fig := range []struct {
+		id    string
+		title string
+		sizes []int
+		build func(n int) *core.Problem[int32]
+	}{
+		{"fig9", "Figure 9: horizontal case-1", []int{1024, 2048, 4096, 8192}, Fig9Problem},
+		{"fig10", "Figure 10: Levenshtein distance", []int{1024, 2048, 4096, 8192},
+			func(n int) *core.Problem[int32] { return Fig10Problem(cfg.Seed, n) }},
+		{"fig12", "Figure 12: Floyd-Steinberg dithering", []int{512, 1024, 2048, 4096},
+			func(n int) *core.Problem[int32] { return Fig12Problem(cfg.Seed, n) }},
+		{"fig13", "Figure 13: checkerboard problem", []int{1024, 2048, 4096, 8192},
+			func(n int) *core.Problem[int32] { return Fig13Problem(cfg.Seed, n) }},
+	} {
+		sizes := fig.sizes
+		if cfg.Quick {
+			sizes = []int{128, 256}
+		}
+		series, err := CaseStudySeries(sizes, fig.build)
+		if err != nil {
+			return nil, err
+		}
+		for _, plat := range hetsim.Platforms() {
+			var sx, cpu, gpu, fw []float64
+			for _, tt := range series[plat.Name] {
+				sx = append(sx, float64(tt.Size))
+				cpu = append(cpu, tt.CPU.Seconds()*1e3)
+				gpu = append(gpu, tt.GPU.Seconds()*1e3)
+				fw = append(fw, tt.Framework.Seconds()*1e3)
+			}
+			key := fig.id + "-" + strings.ToLower(strings.ReplaceAll(plat.Name, "-", ""))
+			out[key] = &plot.Chart{
+				Title:  fig.title + " — " + plat.Name,
+				XLabel: "table side",
+				YLabel: "time (ms)",
+				LogX:   true,
+				LogY:   true,
+				Series: []plot.Series{
+					{Name: "cpu", X: sx, Y: cpu},
+					{Name: "gpu", X: sx, Y: gpu},
+					{Name: "framework", X: sx, Y: fw},
+				},
+			}
+		}
+	}
+	return out, nil
+}

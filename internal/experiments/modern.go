@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hetsim"
+)
+
+// RunExtModern asks whether the paper's conclusions survive a decade of
+// hardware evolution: the Figure 10 comparison on Hetero-Modern (64-core
+// server CPU + A100-class accelerator). Accelerator throughput grew ~17x
+// over the K20 but launch latency only halved, so wavefront DP is *more*
+// launch-bound than in 2015 — the low-work regions the framework hands to
+// the CPU matter more, not less.
+func RunExtModern(cfg Config) ([]Table, error) {
+	sizes := []int{1024, 2048, 4096, 8192, 16384, 32768}
+	if cfg.Quick {
+		sizes = []int{256, 512}
+	}
+	modern := hetsim.HeteroModern()
+	high := hetsim.HeteroHigh()
+	t := Table{
+		Title:  "Extension: a decade later — Levenshtein on Hetero-Modern (EPYC + A100 class)",
+		Header: []string{"size", "cpu", "gpu", "framework", "gpu/fw (modern)", "gpu/fw (2015 K20)"},
+	}
+	for _, n := range sizes {
+		p := Fig10Problem(cfg.Seed, n)
+		tri, err := triMeasure(p, modern)
+		if err != nil {
+			return nil, err
+		}
+		old, err := triMeasure(p, high)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx%d", n, n),
+			fd(tri.CPU), fd(tri.GPU), fd(tri.Framework),
+			ratio(tri.GPU, tri.Framework),
+			ratio(old.GPU, old.Framework),
+		})
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hetsim"
+)
+
+// multiProblem is a horizontal case-1 recurrence on a short, very wide
+// table: 2048 rows by cols columns, with no materialized input, so the
+// sweep isolates the compute-sharing effect and can reach row widths where
+// weak accelerators finally amortize their launch latency.
+func multiProblem(cols int) *core.Problem[int32] {
+	return &core.Problem[int32]{
+		Name: "ext-multi", Rows: 2048, Cols: cols, Deps: core.DepNW | core.DepN,
+		F: func(i, j int, nb core.Neighbors[int32]) int32 {
+			if i == 0 {
+				return int32(j % 13)
+			}
+			return min(nb.NW, nb.N) + 1
+		},
+		BytesPerCell: 4,
+	}
+}
+
+// MultiTimes measures the four device configurations at one row width, for
+// the driver and its tests. The returned order is cpu+k20, cpu+k20+gt650m,
+// cpu+k20+phi, cpu+k20+phi+gt650m.
+func MultiTimes(cfg Config, cols int) ([]time.Duration, error) {
+	plat := hetsim.HeteroHigh()
+	k20 := core.Accelerator{Name: "k20", Model: hetsim.HeteroHigh().GPU}
+	gt := core.Accelerator{Name: "gt650m", Model: hetsim.HeteroLow().GPU}
+	phi := core.Accelerator{Name: "phi", Model: hetsim.HeteroPhi().GPU}
+	p := multiProblem(cols)
+	var out []time.Duration
+	for _, accels := range [][]core.Accelerator{
+		{k20}, {k20, gt}, {k20, phi}, {k20, phi, gt},
+	} {
+		res, err := core.SolveHeteroMulti(p, core.Options{Platform: plat, SkipCompute: true}, accels, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Timeline.Makespan())
+	}
+	return out, nil
+}
+
+// RunExtMulti extends the paper's future-work direction past one extra
+// accelerator: a horizontal case-1 workload across the Hetero-High host
+// CPU plus one, two, and three accelerators. Shares are water-filled per
+// DefaultMultiShares, so a weak device that cannot amortize its launch
+// latency at a given row width receives no work — adding hardware never
+// hurts, and starts paying off once rows grow wide enough.
+func RunExtMulti(cfg Config) ([]Table, error) {
+	widths := []int{8192, 32768, 131072, 524288}
+	if cfg.Quick {
+		widths = []int{4096, 65536}
+	}
+	t := Table{
+		Title:  "Extension: multi-accelerator horizontal case-1 (2048 rows, Hetero-High host)",
+		Header: []string{"row width", "cpu+k20", "cpu+k20+gt650m", "cpu+k20+phi", "cpu+k20+phi+gt650m", "gain over cpu+k20"},
+	}
+	for _, cols := range widths {
+		times, err := MultiTimes(cfg, cols)
+		if err != nil {
+			return nil, err
+		}
+		best := times[0]
+		for _, d := range times[1:] {
+			if d < best {
+				best = d
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", cols),
+			fd(times[0]), fd(times[1]), fd(times[2]), fd(times[3]),
+			ratio(times[0], best),
+		})
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hetsim"
+)
+
+// RunExtPhi answers the paper's concluding question — "how does a
+// heterogeneous approach impact the implementation if the system has some
+// other accelerators like Intel Xeon-Phi" — by re-running the Levenshtein
+// (anti-diagonal) and checkerboard (horizontal case-2) sweeps with the
+// Hetero-High host paired to a modeled Xeon Phi 5110P instead of the K20.
+//
+// Expected reading: the Phi's lower peak throughput makes the accelerator-
+// only runs slower than the K20's, but its weaker device also makes CPU
+// work-sharing relatively *more* valuable, so the framework-over-
+// accelerator gain is larger on the Phi platform.
+func RunExtPhi(cfg Config) ([]Table, error) {
+	sizes := figSizes(cfg, []int{1024, 2048, 4096, 8192})
+	k20 := hetsim.HeteroHigh()
+	phi := hetsim.HeteroPhi()
+
+	var tables []Table
+	for _, workloadRow := range []struct {
+		title string
+		build func(n int) *core.Problem[int32]
+	}{
+		{"Levenshtein (anti-diagonal)", func(n int) *core.Problem[int32] { return Fig10Problem(cfg.Seed, n) }},
+		{"checkerboard (horizontal case-2)", func(n int) *core.Problem[int32] { return Fig13Problem(cfg.Seed, n) }},
+	} {
+		t := Table{
+			Title:  "Extension: K20 vs Xeon Phi — " + workloadRow.title,
+			Header: []string{"size", "cpu", "k20", "fw(k20)", "k20/fw", "phi", "fw(phi)", "phi/fw"},
+		}
+		for _, n := range sizes {
+			p := workloadRow.build(n)
+			k, err := triMeasure(p, k20)
+			if err != nil {
+				return nil, err
+			}
+			ph, err := triMeasure(p, phi)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%dx%d", n, n),
+				fd(k.CPU),
+				fd(k.GPU), fd(k.Framework), ratio(k.GPU, k.Framework),
+				fd(ph.GPU), fd(ph.Framework), ratio(ph.GPU, ph.Framework),
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

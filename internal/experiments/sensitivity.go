@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hetsim"
+)
+
+// RunExtSensitivity probes how robust the reproduced orderings are to the
+// platform calibration: it scales the GPU's sustained throughput (WaveCost)
+// across a 16x range around the Hetero-High preset and re-measures the
+// Figure 10 comparison at 4k. The framework-beats-GPU claim must hold at
+// every scale — the low-work regions the CPU absorbs are launch-bound, not
+// throughput-bound — while the CPU/GPU crossover moves as expected.
+func RunExtSensitivity(cfg Config) ([]Table, error) {
+	n := 4096
+	if cfg.Quick {
+		n = 1024
+	}
+	p := Fig10Problem(cfg.Seed, n)
+	scales := []float64{0.25, 0.5, 1, 2, 4}
+
+	t := Table{
+		Title:  fmt.Sprintf("Extension: calibration sensitivity (Levenshtein %dx%d, Hetero-High, GPU wave-cost scaled)", n, n),
+		Header: []string{"wave-cost scale", "cpu", "gpu", "framework", "gpu/fw", "framework wins"},
+	}
+	for _, scale := range scales {
+		plat := hetsim.HeteroHigh()
+		plat.GPU.WaveCost = time.Duration(float64(plat.GPU.WaveCost) * scale)
+		tri, err := triMeasure(p, plat)
+		if err != nil {
+			return nil, err
+		}
+		// "wins" tolerates the sub-percent phase-plumbing overhead of runs
+		// that degenerate to CPU-only on small tables (cf. Fig 10 at 1k).
+		wins := "yes"
+		if tri.Framework > tri.GPU || tri.Framework > tri.CPU+tri.CPU/100 {
+			wins = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2fx", scale),
+			fd(tri.CPU), fd(tri.GPU), fd(tri.Framework),
+			ratio(tri.GPU, tri.Framework),
+			wins,
+		})
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"repro/internal/core"
+)
+
+// RunTable1 regenerates paper Table I: every contributing set and the
+// pattern the framework classifies it into.
+func RunTable1(cfg Config) ([]Table, error) {
+	t := Table{
+		Title:  "Table I: contributing sets -> patterns",
+		Header: []string{"cell[i][j-1]", "cell[i-1][j-1]", "cell[i-1][j]", "cell[i-1][j+1]", "pattern"},
+	}
+	yn := func(b bool) string {
+		if b {
+			return "Y"
+		}
+		return "N"
+	}
+	for _, m := range core.AllDepMasks() {
+		t.Rows = append(t.Rows, []string{
+			yn(m.Has(core.DepW)), yn(m.Has(core.DepNW)),
+			yn(m.Has(core.DepN)), yn(m.Has(core.DepNE)),
+			core.Classify(m).String(),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// RunTable2 regenerates paper Table II: the transfer requirement per
+// pattern, using one representative contributing set per row plus the
+// horizontal sub-cases.
+func RunTable2(cfg Config) ([]Table, error) {
+	t := Table{
+		Title:  "Table II: patterns -> transfer needs",
+		Header: []string{"pattern", "example set", "1-way / 2-way"},
+	}
+	rows := []struct {
+		name string
+		mask core.DepMask
+	}{
+		{"Anti-diagonal", core.DepW | core.DepNW | core.DepN},
+		{"Horizontal (case-1)", core.DepNW | core.DepN},
+		{"Horizontal (case-2)", core.DepNW | core.DepN | core.DepNE},
+		{"Horizontal ({N} only)", core.DepN},
+		{"Inverted-L", core.DepNW},
+		{"Knight-Move", core.DepW | core.DepNE},
+		{"Vertical", core.DepW | core.DepNW},
+		{"mInverted-L", core.DepNE},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.name, r.mask.String(), core.TransferNeed(r.mask).String(),
+		})
+	}
+	return []Table{t}, nil
+}

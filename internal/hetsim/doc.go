@@ -1,0 +1,36 @@
+// Package hetsim is a deterministic discrete-event simulator of a
+// heterogeneous compute node consisting of a multicore CPU, a CUDA-class
+// GPU, and a PCIe bus connecting them.
+//
+// The simulator replaces the physical CPU+GPU platforms used in the paper
+// "A Novel Heterogeneous Framework for Local Dependency Dynamic Programming
+// Problems" (Kumar & Kothapalli, 2015). It models the first-order costs that
+// shape every measurement in the paper:
+//
+//   - CPU parallel-for dispatch overhead and per-cell throughput across a
+//     fixed number of hardware threads;
+//   - GPU kernel-launch latency, SIMT execution width (SMX count x cores per
+//     SMX), per-wave cost, and a multiplicative penalty for uncoalesced
+//     global-memory access;
+//   - PCIe transfer latency and bandwidth, with distinct pinned and pageable
+//     paths and one or two DMA copy engines;
+//   - CUDA-stream-like in-order queues with explicit cross-queue
+//     dependencies, which is what makes copy/compute pipelining observable.
+//
+// Work is described as a DAG of operations (Op) submitted to a Sim. Each Op
+// executes on one Resource (CPU, GPU, a copy engine, or an extra stream).
+// Resources process their operations in submission order (FIFO), and an
+// operation additionally waits for all of its declared dependencies. The
+// simulator resolves integer-nanosecond start/end times for every operation
+// and records them on a Timeline.
+//
+// Beyond schedule resolution the package provides: calibrated platform
+// presets mirroring the paper's testbeds (HeteroHigh, HeteroLow) plus
+// extension platforms (HeteroPhi, HeteroModern) and JSON-loadable custom
+// calibrations; named extra streams for multi-accelerator configurations;
+// an energy model (Platform.Energy); and critical-path extraction
+// (Sim.CriticalPath) for makespan attribution.
+//
+// Everything is deterministic: the same op DAG always produces the same
+// Timeline, byte for byte.
+package hetsim

@@ -1,0 +1,59 @@
+package hetsim
+
+import "time"
+
+// OpID identifies an operation submitted to a Sim. IDs are dense and start
+// at 0, in submission order. The zero Sim has no operations, so OpID values
+// are only meaningful for the Sim that issued them.
+type OpID int
+
+// NoOp is a sentinel OpID usable as an "absent" dependency. Submit ignores
+// it, which lets callers unconditionally pass previous-iteration IDs even on
+// the first iteration.
+const NoOp OpID = -1
+
+// OpKind classifies an operation for reporting purposes. It has no effect
+// on scheduling; scheduling is fully determined by the resource and the
+// dependency edges.
+type OpKind uint8
+
+const (
+	// OpCompute is CPU or GPU computation.
+	OpCompute OpKind = iota
+	// OpTransfer is a host<->device copy.
+	OpTransfer
+	// OpSync is a zero- or fixed-duration synchronization marker.
+	OpSync
+)
+
+// String returns the lowercase name of the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpTransfer:
+		return "transfer"
+	case OpSync:
+		return "sync"
+	default:
+		return "unknown"
+	}
+}
+
+// Op describes a single unit of simulated work.
+//
+// Duration must be non-negative. Label is free-form and surfaces in the
+// Timeline; conventional labels used by the framework are of the form
+// "cpu:iter=12", "gpu:iter=12", "h2d:boundary", "d2h:bulk".
+type Op struct {
+	Resource Resource
+	Kind     OpKind
+	Duration time.Duration
+	Label    string
+	// Cells is the number of table cells this op computes (compute ops) or
+	// transfers (transfer ops). Used only for reporting and utilization
+	// statistics.
+	Cells int
+	// Bytes moved by a transfer op. Zero for compute ops.
+	Bytes int
+}

@@ -1,0 +1,38 @@
+package hetsim
+
+import "time"
+
+// PCIeModel describes the host<->device interconnect.
+//
+// A transfer of n bytes costs latency + n/bandwidth. Pinned (page-locked)
+// host memory has both lower latency and higher effective bandwidth than
+// pageable memory, because the DMA engine can access it directly without a
+// staging copy; the framework exploits this for the small per-iteration
+// boundary exchanges that two-way patterns require (paper §IV-C case 2).
+type PCIeModel struct {
+	// LatencyPageable is the fixed cost of a transfer from pageable memory.
+	LatencyPageable time.Duration
+	// LatencyPinned is the fixed cost of a transfer from pinned memory.
+	LatencyPinned time.Duration
+	// BandwidthPageable is sustained pageable bandwidth in bytes/second.
+	BandwidthPageable float64
+	// BandwidthPinned is sustained pinned bandwidth in bytes/second.
+	BandwidthPinned float64
+}
+
+// TransferDuration returns the simulated duration of moving bytes across
+// the bus in either direction.
+func (p PCIeModel) TransferDuration(bytes int, pinned bool) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	lat, bw := p.LatencyPageable, p.BandwidthPageable
+	if pinned {
+		lat, bw = p.LatencyPinned, p.BandwidthPinned
+	}
+	var body time.Duration
+	if bw > 0 {
+		body = time.Duration(float64(bytes) / bw * float64(time.Second))
+	}
+	return lat + body
+}

@@ -1,0 +1,226 @@
+package hetsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sim resolves start and end times for a DAG of operations over a set of
+// in-order resources.
+//
+// Scheduling rule: an operation starts at
+//
+//	max(ready time of its resource, max end time of its dependencies)
+//
+// and occupies its resource until start+Duration. This is the standard
+// list-scheduling semantics of in-order hardware queues (OpenMP parallel
+// regions, CUDA streams, DMA engines) and is sufficient to express
+// fork/join, kernel serialization, and copy/compute overlap.
+//
+// A Sim is single-goroutine; the framework drives one Sim per solve.
+type Sim struct {
+	platform *Platform
+	ops      []record
+	// resourceReady[r] is the time at which resource r becomes free.
+	resourceReady []time.Duration
+	// opEnd[id] caches the end time of each submitted op.
+	opEnd       []time.Duration
+	numStreams  int
+	streamNames []string
+	// lastOp[r] is the most recent operation submitted to resource r.
+	lastOp []OpID
+}
+
+type record struct {
+	op    Op
+	start time.Duration
+	end   time.Duration
+	deps  []OpID
+	// critParent is the operation whose completion set this op's start
+	// time: the latest-ending dependency, or the same-resource predecessor
+	// when queue order dominates. NoOp when the op started at time zero.
+	critParent OpID
+}
+
+// NewSim creates a simulator for the given platform. The platform is only
+// consulted for its copy-engine count here; durations are computed by the
+// caller (typically via the platform's device models) before submission.
+func NewSim(p *Platform) *Sim {
+	s := &Sim{
+		platform:      p,
+		resourceReady: make([]time.Duration, numFixedResources),
+		lastOp:        make([]OpID, numFixedResources),
+	}
+	for i := range s.lastOp {
+		s.lastOp[i] = NoOp
+	}
+	return s
+}
+
+// Platform returns the platform this simulator was created for.
+func (s *Sim) Platform() *Platform { return s.platform }
+
+// NewStream allocates an additional in-order queue (an extra CUDA stream).
+// Operations on distinct streams only order through explicit dependencies.
+func (s *Sim) NewStream() Resource {
+	return s.NewNamedStream("")
+}
+
+// NewNamedStream allocates an additional in-order queue carrying a display
+// name, used for extra accelerators in multi-device configurations. The
+// name surfaces through Timeline.NameOf.
+func (s *Sim) NewNamedStream(name string) Resource {
+	r := numFixedResources + Resource(s.numStreams)
+	s.numStreams++
+	s.resourceReady = append(s.resourceReady, 0)
+	s.streamNames = append(s.streamNames, name)
+	s.lastOp = append(s.lastOp, NoOp)
+	return r
+}
+
+// effectiveResource folds the D2H engine onto the H2D engine on platforms
+// with a single DMA copy engine, serializing transfers in both directions.
+func (s *Sim) effectiveResource(r Resource) Resource {
+	if r == ResCopyD2H && s.platform != nil && s.platform.CopyEngines < 2 {
+		return ResCopyH2D
+	}
+	return r
+}
+
+// Submit schedules op after the given dependencies and returns its ID.
+// NoOp entries in deps are ignored. Submit panics on negative durations,
+// unknown resources, or forward references, all of which are programming
+// errors in the strategy code.
+func (s *Sim) Submit(op Op, deps ...OpID) OpID {
+	if op.Duration < 0 {
+		panic(fmt.Sprintf("hetsim: negative duration %v for op %q", op.Duration, op.Label))
+	}
+	res := s.effectiveResource(op.Resource)
+	if res < 0 || int(res) >= len(s.resourceReady) {
+		panic(fmt.Sprintf("hetsim: unknown resource %d for op %q", int(op.Resource), op.Label))
+	}
+	id := OpID(len(s.ops))
+	start := s.resourceReady[res]
+	parent := s.lastOnResource(res)
+	kept := make([]OpID, 0, len(deps))
+	for _, d := range deps {
+		if d == NoOp {
+			continue
+		}
+		if d < 0 || d >= id {
+			panic(fmt.Sprintf("hetsim: op %q depends on invalid op %d", op.Label, int(d)))
+		}
+		kept = append(kept, d)
+		if e := s.opEnd[d]; e > start {
+			start = e
+			parent = d
+		}
+	}
+	if parent != NoOp && s.opEnd[parent] < start {
+		// The resource was free before the constraining dependency ended;
+		// keep the dependency as the parent only if it actually set start.
+		parent = NoOp
+		for _, d := range kept {
+			if s.opEnd[d] == start {
+				parent = d
+				break
+			}
+		}
+		if parent == NoOp {
+			if p := s.lastOnResource(res); p != NoOp && s.opEnd[p] == start {
+				parent = p
+			}
+		}
+	}
+	end := start + op.Duration
+	s.resourceReady[res] = end
+	s.lastOp[res] = id
+	op.Resource = res
+	s.ops = append(s.ops, record{op: op, start: start, end: end, deps: kept, critParent: parent})
+	s.opEnd = append(s.opEnd, end)
+	return id
+}
+
+// EndOf returns the end time of a previously submitted operation.
+// EndOf(NoOp) returns 0.
+func (s *Sim) EndOf(id OpID) time.Duration {
+	if id == NoOp {
+		return 0
+	}
+	return s.opEnd[id]
+}
+
+// Makespan returns the completion time of the last-finishing operation, that
+// is, the simulated wall-clock duration of the whole computation.
+func (s *Sim) Makespan() time.Duration {
+	var m time.Duration
+	for _, e := range s.opEnd {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// NumOps returns the number of operations submitted so far.
+func (s *Sim) NumOps() int { return len(s.ops) }
+
+// Timeline snapshots the schedule resolved so far. The returned Timeline is
+// independent of the Sim and safe to retain.
+func (s *Sim) Timeline() Timeline {
+	recs := make([]OpRecord, len(s.ops))
+	for i, r := range s.ops {
+		recs[i] = OpRecord{
+			ID:       OpID(i),
+			Label:    r.op.Label,
+			Resource: r.op.Resource,
+			Kind:     r.op.Kind,
+			Start:    r.start,
+			End:      r.end,
+			Cells:    r.op.Cells,
+			Bytes:    r.op.Bytes,
+		}
+	}
+	names := make([]string, len(s.streamNames))
+	copy(names, s.streamNames)
+	return Timeline{Records: recs, NumStreams: s.numStreams, StreamNames: names}
+}
+
+// lastOnResource returns the most recent op on a resource, or NoOp.
+func (s *Sim) lastOnResource(r Resource) OpID {
+	if int(r) >= len(s.lastOp) {
+		return NoOp
+	}
+	return s.lastOp[r]
+}
+
+// CriticalPath returns the chain of operations whose waits compose the
+// makespan, from the first op to the last-finishing one. Each op on the
+// path started exactly when its predecessor ended (through a dependency
+// edge or in-order queueing); gaps appear only before the first op.
+func (s *Sim) CriticalPath() []OpRecord {
+	if len(s.ops) == 0 {
+		return nil
+	}
+	// Find the last-finishing op.
+	last := OpID(0)
+	for id := range s.ops {
+		if s.opEnd[id] > s.opEnd[last] {
+			last = OpID(id)
+		}
+	}
+	var path []OpRecord
+	for id := last; id != NoOp; {
+		r := s.ops[id]
+		path = append(path, OpRecord{
+			ID: id, Label: r.op.Label, Resource: r.op.Resource, Kind: r.op.Kind,
+			Start: r.start, End: r.end, Cells: r.op.Cells, Bytes: r.op.Bytes,
+		})
+		id = r.critParent
+	}
+	// Reverse into execution order.
+	for l, rr := 0, len(path)-1; l < rr; l, rr = l+1, rr-1 {
+		path[l], path[rr] = path[rr], path[l]
+	}
+	return path
+}

@@ -1,0 +1,102 @@
+package hetsim
+
+import (
+	"testing"
+	"time"
+)
+
+func buildTimeline(t *testing.T) Timeline {
+	t.Helper()
+	s := NewSim(HeteroHigh())
+	a := s.Submit(Op{Resource: ResCPU, Kind: OpCompute, Duration: 10 * time.Microsecond, Cells: 100})
+	s.Submit(Op{Resource: ResGPU, Kind: OpCompute, Duration: 20 * time.Microsecond, Cells: 900}, a)
+	s.Submit(Op{Resource: ResCopyH2D, Kind: OpTransfer, Duration: 2 * time.Microsecond, Bytes: 64}, a)
+	s.Submit(Op{Resource: ResCopyD2H, Kind: OpTransfer, Duration: 3 * time.Microsecond, Bytes: 128})
+	return s.Timeline()
+}
+
+func TestTimelineMakespan(t *testing.T) {
+	tl := buildTimeline(t)
+	if got, want := tl.Makespan(), 30*time.Microsecond; got != want {
+		t.Errorf("Makespan = %v, want %v", got, want)
+	}
+}
+
+func TestTimelineBusyTime(t *testing.T) {
+	tl := buildTimeline(t)
+	if got, want := tl.BusyTime(ResCPU), 10*time.Microsecond; got != want {
+		t.Errorf("BusyTime(cpu) = %v, want %v", got, want)
+	}
+	if got, want := tl.BusyTime(ResGPU), 20*time.Microsecond; got != want {
+		t.Errorf("BusyTime(gpu) = %v, want %v", got, want)
+	}
+}
+
+func TestTimelineUtilization(t *testing.T) {
+	tl := buildTimeline(t)
+	if got := tl.Utilization(ResGPU); got < 0.66 || got > 0.67 {
+		t.Errorf("Utilization(gpu) = %v, want ~2/3", got)
+	}
+	var empty Timeline
+	if empty.Utilization(ResCPU) != 0 {
+		t.Error("empty timeline utilization should be 0")
+	}
+}
+
+func TestTimelineCellsAndBytes(t *testing.T) {
+	tl := buildTimeline(t)
+	if got := tl.CellsOn(ResCPU); got != 100 {
+		t.Errorf("CellsOn(cpu) = %d, want 100", got)
+	}
+	if got := tl.CellsOn(ResGPU); got != 900 {
+		t.Errorf("CellsOn(gpu) = %d, want 900", got)
+	}
+	if got := tl.BytesTransferred(); got != 192 {
+		t.Errorf("BytesTransferred = %d, want 192", got)
+	}
+	if got := tl.TransferCount(); got != 2 {
+		t.Errorf("TransferCount = %d, want 2", got)
+	}
+}
+
+func TestTimelineResourcesSorted(t *testing.T) {
+	tl := buildTimeline(t)
+	rs := tl.Resources()
+	if len(rs) != 4 {
+		t.Fatalf("Resources() = %v, want 4 resources", rs)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i] <= rs[i-1] {
+			t.Errorf("Resources() not sorted: %v", rs)
+		}
+	}
+}
+
+func TestTimelineSummarize(t *testing.T) {
+	tl := buildTimeline(t)
+	st := tl.Summarize()
+	if st.Makespan != 30*time.Microsecond {
+		t.Errorf("Stats.Makespan = %v", st.Makespan)
+	}
+	if st.CPUCells != 100 || st.GPUCells != 900 {
+		t.Errorf("Stats cells = %d/%d, want 100/900", st.CPUCells, st.GPUCells)
+	}
+	if st.Transfers != 2 || st.BytesMoved != 192 {
+		t.Errorf("Stats transfers = %d/%d bytes", st.Transfers, st.BytesMoved)
+	}
+	if st.OverlapRatio <= 1.0 {
+		t.Errorf("OverlapRatio = %v, want > 1 (overlapped execution)", st.OverlapRatio)
+	}
+	var empty Timeline
+	es := empty.Summarize()
+	if es.Makespan != 0 || es.OverlapRatio != 0 {
+		t.Errorf("empty Summarize = %+v", es)
+	}
+}
+
+func TestOpRecordDuration(t *testing.T) {
+	r := OpRecord{Start: 5, End: 12}
+	if r.Duration() != 7 {
+		t.Errorf("Duration = %v, want 7", r.Duration())
+	}
+}

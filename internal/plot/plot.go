@@ -1,0 +1,173 @@
+// Package plot renders the experiment series as self-contained SVG line
+// charts — the reproduced counterparts of the paper's figures. Pure
+// stdlib; the output opens in any browser.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart describes one figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX/LogY select logarithmic axes (base 2 for X, 10 for Y), the
+	// natural scales for size sweeps spanning octaves.
+	LogX, LogY bool
+	Series     []Series
+}
+
+// palette holds the line colors, reused cyclically.
+var palette = []string{"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"}
+
+const (
+	chartW  = 720
+	chartH  = 420
+	marginL = 70
+	marginR = 150
+	marginT = 40
+	marginB = 50
+)
+
+// WriteSVG renders the chart.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return errors.New("plot: chart has no series")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return fmt.Errorf("plot: series %q malformed", s.Name)
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogX && x <= 0 || c.LogY && y <= 0 {
+				return fmt.Errorf("plot: series %q has non-positive values on a log axis", s.Name)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+
+	tx := func(x float64) float64 {
+		lo, hi, v := xmin, xmax, x
+		if c.LogX {
+			lo, hi, v = math.Log(xmin), math.Log(xmax), math.Log(x)
+		}
+		return marginL + (v-lo)/(hi-lo)*float64(chartW-marginL-marginR)
+	}
+	ty := func(y float64) float64 {
+		lo, hi, v := ymin, ymax, y
+		if c.LogY {
+			lo, hi, v = math.Log(ymin), math.Log(ymax), math.Log(y)
+		}
+		return float64(chartH-marginB) - (v-lo)/(hi-lo)*float64(chartH-marginT-marginB)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", chartW, chartH)
+	fmt.Fprintf(&sb, `<text x="%d" y="20" font-size="15">%s</text>`+"\n", marginL, html.EscapeString(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, chartH-marginB, chartW-marginR, chartH-marginB)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, marginT, marginL, chartH-marginB)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n",
+		(chartW-marginR)/2, chartH-12, html.EscapeString(c.XLabel))
+	fmt.Fprintf(&sb, `<text x="14" y="%d" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		chartH/2, chartH/2, html.EscapeString(c.YLabel))
+
+	// X tick marks at each distinct x of the first series.
+	for _, x := range c.Series[0].X {
+		px := tx(x)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+			px, chartH-marginB, px, chartH-marginB+4)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			px, chartH-marginB+18, formatTick(x))
+	}
+	// Y ticks: min, mid, max.
+	for _, y := range yTicks(ymin, ymax, c.LogY) {
+		py := ty(y)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py, chartW-marginR, py)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginL-6, py+4, formatTick(y))
+	}
+
+	// Lines, points, legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(s.X[i]), ty(s.Y[i])))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				tx(s.X[i]), ty(s.Y[i]), color)
+		}
+		ly := marginT + 18*si
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			chartW-marginR+10, ly, chartW-marginR+34, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n",
+			chartW-marginR+40, ly+4, html.EscapeString(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// yTicks picks a handful of y grid values.
+func yTicks(lo, hi float64, log bool) []float64 {
+	if log {
+		var out []float64
+		start := math.Pow(10, math.Floor(math.Log10(lo)))
+		for v := start; v <= hi*1.0001; v *= 10 {
+			if v >= lo*0.9999 {
+				out = append(out, v)
+			}
+		}
+		if len(out) >= 2 {
+			return out
+		}
+	}
+	return []float64{lo, (lo + hi) / 2, hi}
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

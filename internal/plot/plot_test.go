@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoChart() *Chart {
+	return &Chart{
+		Title:  "Figure 10: Levenshtein <times>",
+		XLabel: "table side",
+		YLabel: "time (ms)",
+		LogX:   true,
+		Series: []Series{
+			{Name: "cpu", X: []float64{1024, 2048, 4096}, Y: []float64{5.8, 15.2, 44.4}},
+			{Name: "gpu", X: []float64{1024, 2048, 4096}, Y: []float64{7.8, 15.6, 31.4}},
+			{Name: "framework", X: []float64{1024, 2048, 4096}, Y: []float64{5.9, 13.6, 29.4}},
+		},
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	var sb strings.Builder
+	if err := demoChart().WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Figure 10: Levenshtein &lt;times&gt;",
+		"cpu", "gpu", "framework", "table side", "time (ms)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 3 {
+		t.Errorf("polyline count = %d, want 3", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 9 {
+		t.Errorf("circle count = %d, want 9", got)
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	empty := &Chart{Title: "x"}
+	if err := empty.WriteSVG(&strings.Builder{}); err == nil {
+		t.Error("empty chart should error")
+	}
+	bad := &Chart{Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.WriteSVG(&strings.Builder{}); err == nil {
+		t.Error("malformed series should error")
+	}
+	logbad := &Chart{LogY: true, Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{0}}}}
+	if err := logbad.WriteSVG(&strings.Builder{}); err == nil {
+		t.Error("zero on log axis should error")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	flat := &Chart{Series: []Series{{Name: "a", X: []float64{5, 5}, Y: []float64{3, 3}}}}
+	var sb strings.Builder
+	if err := flat.WriteSVG(&sb); err != nil {
+		t.Fatalf("flat chart should render: %v", err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2048:   "2048", // small integers render exactly
+		16384:  "16.4k",
+		3:      "3",
+		1.5e6:  "1.5M",
+		2.5e9:  "2.5G",
+		0.0042: "0.0042",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestYTicksLog(t *testing.T) {
+	ticks := yTicks(0.002, 5, true)
+	if len(ticks) < 2 {
+		t.Fatalf("log ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Errorf("ticks not ascending: %v", ticks)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package problems
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Gotoh's affine-gap pairwise alignment — "pairwise sequence alignment
+// with affine gap cost", which the paper's introduction lists among the
+// canonical LDDP problems. Each DP cell carries the three interleaved
+// state tables of the recurrence, demonstrating that the framework's
+// generic cell type handles multi-valued recurrences:
+//
+//	M(i,j) = sub(a_i, b_j) + max(M, X, Y)(i-1, j-1)
+//	X(i,j) = max(M(i-1,j) + open, X(i-1,j) + extend)   gap in b
+//	Y(i,j) = max(M(i,j-1) + open, Y(i,j-1) + extend)   gap in a
+//
+// M reads NW, X reads N, Y reads W: the contributing set is {W, NW, N} and
+// the pattern anti-diagonal, exactly like the linear-gap alignments.
+
+// AffineCell is the three-state DP value of the Gotoh recurrence.
+type AffineCell struct {
+	M, X, Y int32
+}
+
+// affineNegInf is the "minus infinity" of the recurrence, deep enough that
+// summing scores can never overflow back into the valid range.
+const affineNegInf = int32(math.MinInt32 / 4)
+
+// AffineScores parameterizes the affine-gap model. Open is charged for the
+// first position of a gap, Extend for each subsequent one (both negative).
+type AffineScores struct {
+	Match    int32
+	Mismatch int32
+	Open     int32
+	Extend   int32
+}
+
+// DefaultAffineScores returns the common +2/-1/-5/-1 scoring.
+func DefaultAffineScores() AffineScores {
+	return AffineScores{Match: 2, Mismatch: -1, Open: -5, Extend: -1}
+}
+
+func (s AffineScores) sub(x, y byte) int32 {
+	if x == y {
+		return s.Match
+	}
+	return s.Mismatch
+}
+
+// AffineAlign builds the Gotoh global-alignment problem for a and b.
+func AffineAlign(a, b string, s AffineScores) *core.Problem[AffineCell] {
+	return &core.Problem[AffineCell]{
+		Name: "affine-align",
+		Rows: len(a) + 1,
+		Cols: len(b) + 1,
+		Deps: core.DepW | core.DepNW | core.DepN,
+		F: func(i, j int, nb core.Neighbors[AffineCell]) AffineCell {
+			switch {
+			case i == 0 && j == 0:
+				return AffineCell{M: 0, X: affineNegInf, Y: affineNegInf}
+			case i == 0:
+				return AffineCell{
+					M: affineNegInf,
+					X: affineNegInf,
+					Y: s.Open + int32(j-1)*s.Extend,
+				}
+			case j == 0:
+				return AffineCell{
+					M: affineNegInf,
+					X: s.Open + int32(i-1)*s.Extend,
+					Y: affineNegInf,
+				}
+			}
+			return AffineCell{
+				M: s.sub(a[i-1], b[j-1]) + max(nb.NW.M, nb.NW.X, nb.NW.Y),
+				X: max(nb.N.M+s.Open, nb.N.X+s.Extend),
+				Y: max(nb.W.M+s.Open, nb.W.Y+s.Extend),
+			}
+		},
+		BytesPerCell: 12, // three int32 states per cell
+		InputBytes:   len(a) + len(b),
+	}
+}
+
+// AffineScore extracts the optimal global affine-gap score.
+func AffineScore(g interface{ At(i, j int) AffineCell }, a, b string) int32 {
+	c := g.At(len(a), len(b))
+	return max(c.M, c.X, c.Y)
+}
+
+// AffineAlignRef computes the Gotoh score with an independent rolling-array
+// implementation.
+func AffineAlignRef(a, b string, s AffineScores) int32 {
+	m := len(b)
+	type row struct{ M, X, Y []int32 }
+	mk := func() row {
+		return row{M: make([]int32, m+1), X: make([]int32, m+1), Y: make([]int32, m+1)}
+	}
+	prev, cur := mk(), mk()
+	prev.M[0] = 0
+	prev.X[0], prev.Y[0] = affineNegInf, affineNegInf
+	for j := 1; j <= m; j++ {
+		prev.M[j] = affineNegInf
+		prev.X[j] = affineNegInf
+		prev.Y[j] = s.Open + int32(j-1)*s.Extend
+	}
+	for i := 1; i <= len(a); i++ {
+		cur.M[0] = affineNegInf
+		cur.X[0] = s.Open + int32(i-1)*s.Extend
+		cur.Y[0] = affineNegInf
+		for j := 1; j <= m; j++ {
+			cur.M[j] = s.sub(a[i-1], b[j-1]) + max(prev.M[j-1], prev.X[j-1], prev.Y[j-1])
+			cur.X[j] = max(prev.M[j]+s.Open, prev.X[j]+s.Extend)
+			cur.Y[j] = max(cur.M[j-1]+s.Open, cur.Y[j-1]+s.Extend)
+		}
+		prev, cur = cur, prev
+	}
+	return max(prev.M[m], prev.X[m], prev.Y[m])
+}

@@ -1,0 +1,127 @@
+package problems
+
+import (
+	"repro/internal/core"
+)
+
+// AlignScores parameterizes sequence-alignment recurrences.
+type AlignScores struct {
+	Match    int32 // added when characters agree (positive)
+	Mismatch int32 // added when characters disagree (negative)
+	Gap      int32 // added per gap position (negative)
+}
+
+// DefaultAlignScores returns the common +2/-1/-2 scoring.
+func DefaultAlignScores() AlignScores {
+	return AlignScores{Match: 2, Mismatch: -1, Gap: -2}
+}
+
+func (s AlignScores) sub(x, y byte) int32 {
+	if x == y {
+		return s.Match
+	}
+	return s.Mismatch
+}
+
+// NeedlemanWunsch builds the global-alignment score table for a and b with
+// linear gap cost. Contributing set {W, NW, N}: anti-diagonal — the
+// "pairwise sequence alignment" workload the paper's introduction cites as
+// a canonical LDDP problem.
+func NeedlemanWunsch(a, b string, s AlignScores) *core.Problem[int32] {
+	return &core.Problem[int32]{
+		Name: "needleman-wunsch",
+		Rows: len(a) + 1,
+		Cols: len(b) + 1,
+		Deps: core.DepW | core.DepNW | core.DepN,
+		F: func(i, j int, nb core.Neighbors[int32]) int32 {
+			switch {
+			case i == 0 && j == 0:
+				return 0
+			case i == 0:
+				return int32(j) * s.Gap
+			case j == 0:
+				return int32(i) * s.Gap
+			}
+			return max(nb.NW+s.sub(a[i-1], b[j-1]), nb.N+s.Gap, nb.W+s.Gap)
+		},
+		BytesPerCell: 4,
+		InputBytes:   len(a) + len(b),
+	}
+}
+
+// GlobalScore extracts the optimal global alignment score.
+func GlobalScore(g interface{ At(i, j int) int32 }, a, b string) int32 {
+	return g.At(len(a), len(b))
+}
+
+// NeedlemanWunschRef computes the global alignment score independently.
+func NeedlemanWunschRef(a, b string, s AlignScores) int32 {
+	prev := make([]int32, len(b)+1)
+	cur := make([]int32, len(b)+1)
+	for j := range prev {
+		prev[j] = int32(j) * s.Gap
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = int32(i) * s.Gap
+		for j := 1; j <= len(b); j++ {
+			cur[j] = max(prev[j-1]+s.sub(a[i-1], b[j-1]), prev[j]+s.Gap, cur[j-1]+s.Gap)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// SmithWaterman builds the local-alignment score table (scores clamped at
+// zero). Contributing set {W, NW, N}: anti-diagonal.
+func SmithWaterman(a, b string, s AlignScores) *core.Problem[int32] {
+	return &core.Problem[int32]{
+		Name: "smith-waterman",
+		Rows: len(a) + 1,
+		Cols: len(b) + 1,
+		Deps: core.DepW | core.DepNW | core.DepN,
+		F: func(i, j int, nb core.Neighbors[int32]) int32 {
+			if i == 0 || j == 0 {
+				return 0
+			}
+			return max(0, nb.NW+s.sub(a[i-1], b[j-1]), nb.N+s.Gap, nb.W+s.Gap)
+		},
+		BytesPerCell: 4,
+		InputBytes:   len(a) + len(b),
+	}
+}
+
+// LocalBestScore scans a solved Smith-Waterman table for the best local
+// alignment score.
+func LocalBestScore(g interface {
+	At(i, j int) int32
+	Rows() int
+	Cols() int
+}) int32 {
+	var best int32
+	for i := 0; i < g.Rows(); i++ {
+		for j := 0; j < g.Cols(); j++ {
+			if v := g.At(i, j); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// SmithWatermanRef computes the best local alignment score independently.
+func SmithWatermanRef(a, b string, s AlignScores) int32 {
+	prev := make([]int32, len(b)+1)
+	cur := make([]int32, len(b)+1)
+	var best int32
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			cur[j] = max(0, prev[j-1]+s.sub(a[i-1], b[j-1]), prev[j]+s.Gap, cur[j-1]+s.Gap)
+			if cur[j] > best {
+				best = cur[j]
+			}
+		}
+		prev, cur = cur, prev
+		clear(cur)
+	}
+	return best
+}

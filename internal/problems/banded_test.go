@@ -1,0 +1,109 @@
+package problems
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestBandedLevenshteinExactWithinBand(t *testing.T) {
+	a, b := workload.SimilarStrings(13, 400, workload.ASCIIAlphabet, 0.05)
+	want := LevenshteinRef(a, b)
+	d, _, err := BandedLevenshtein(a, b, int(want)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != want {
+		t.Errorf("banded distance %d != full %d (band %d)", d, want, want+1)
+	}
+}
+
+func TestBandedLevenshteinUpperBound(t *testing.T) {
+	a, b := workload.SimilarStrings(17, 200, workload.ASCIIAlphabet, 0.4)
+	want := LevenshteinRef(a, b)
+	for _, band := range []int{1, 4, 16, 64} {
+		d, _, err := BandedLevenshtein(a, b, band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < want {
+			t.Errorf("band %d: banded %d below true distance %d", band, d, want)
+		}
+	}
+}
+
+func TestLevenshteinAdaptive(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"kitten", "sitting"},
+		{"", ""},
+		{"", "abcdef"},
+		{"abcdef", ""},
+		{"same", "same"},
+	}
+	for _, c := range cases {
+		got, err := LevenshteinAdaptive(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := LevenshteinRef(c.a, c.b); got != want {
+			t.Errorf("adaptive(%q,%q) = %d, want %d", c.a, c.b, got, want)
+		}
+	}
+}
+
+// Property: the adaptive banded distance always equals the full distance.
+func TestLevenshteinAdaptiveProperty(t *testing.T) {
+	f := func(seedA, seedB uint64, rate uint8) bool {
+		n := int(seedA%60) + 1
+		a := workload.RandomString(seedA, n, workload.DNAAlphabet)
+		var b string
+		if rate%2 == 0 {
+			_, b = workload.SimilarStrings(seedB, n, workload.DNAAlphabet, float64(rate%100)/100)
+		} else {
+			b = workload.RandomString(seedB, int(seedB%60)+1, workload.DNAAlphabet)
+		}
+		got, err := LevenshteinAdaptive(a, b)
+		if err != nil {
+			return false
+		}
+		return got == LevenshteinRef(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWBandedWideBandIsExact(t *testing.T) {
+	x := workload.TimeSeries(3, 80, -1, 1)
+	y := workload.TimeSeries(4, 80, -1, 1)
+	want := DTWRef(x, y)
+	got, err := DTWBanded(x, y, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("wide-band DTW %v != full %v", got, want)
+	}
+}
+
+func TestDTWBandedUpperBound(t *testing.T) {
+	x := workload.TimeSeries(7, 120, -1, 1)
+	y := workload.TimeSeries(8, 120, -1, 1)
+	want := DTWRef(x, y)
+	prev := math.Inf(1)
+	for _, band := range []int{2, 5, 15, 40} {
+		got, err := DTWBanded(x, y, band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < want-1e-9 {
+			t.Errorf("band %d: banded %v below full %v", band, got, want)
+		}
+		if got > prev+1e-9 {
+			t.Errorf("band %d: banded DTW not monotone (%v after %v)", band, got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,109 @@
+package problems
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// checkerInf is the "infinity" of the checkerboard recurrence; a quarter of
+// the int32 range so that adding per-cell costs can never overflow.
+const checkerInf = int32(math.MaxInt32 / 4)
+
+// Checkerboard builds the paper's §VI-C case study: the shortest path from
+// any cell of row 0 to any cell of the last row, moving diagonally left
+// forward, straight forward, or diagonally right forward. With the paper's
+// orientation flipped to top-down tables,
+//
+//	f(i,j) = inf                                        if j out of range
+//	f(i,j) = c(i,j)                                     if i = 0
+//	f(i,j) = c(i,j) + min(f(i-1,j-1), f(i-1,j), f(i-1,j+1)) otherwise
+//
+// reads {NW, N, NE}: horizontal pattern case-2, the two-way-transfer case.
+// cost must be rectangular and non-empty.
+func Checkerboard(cost [][]int32) *core.Problem[int32] {
+	rows, cols := len(cost), len(cost[0])
+	return &core.Problem[int32]{
+		Name: "checkerboard",
+		Rows: rows,
+		Cols: cols,
+		Deps: core.DepNW | core.DepN | core.DepNE,
+		F: func(i, j int, nb core.Neighbors[int32]) int32 {
+			if i == 0 {
+				return cost[0][j]
+			}
+			return cost[i][j] + min(nb.NW, nb.N, nb.NE)
+		},
+		// Out-of-range lateral neighbours read as infinity.
+		Boundary:     func(i, j int) int32 { return checkerInf },
+		BytesPerCell: 4,
+		InputBytes:   rows * cols * 4,
+	}
+}
+
+// CheckerboardBest extracts the cost of the cheapest full path: the minimum
+// of the last row.
+func CheckerboardBest(g interface {
+	At(i, j int) int32
+	Rows() int
+	Cols() int
+}) int32 {
+	best := checkerInf
+	last := g.Rows() - 1
+	for j := 0; j < g.Cols(); j++ {
+		if v := g.At(last, j); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// CheckerboardRef computes the full DP table independently, returning the
+// last row and the best path cost.
+func CheckerboardRef(cost [][]int32) ([]int32, int32) {
+	rows, cols := len(cost), len(cost[0])
+	prev := make([]int32, cols)
+	cur := make([]int32, cols)
+	copy(prev, cost[0])
+	for i := 1; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			best := prev[j]
+			if j > 0 && prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if j+1 < cols && prev[j+1] < best {
+				best = prev[j+1]
+			}
+			cur[j] = cost[i][j] + best
+		}
+		prev, cur = cur, prev
+	}
+	best := prev[0]
+	for _, v := range prev[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	out := make([]int32, cols)
+	copy(out, prev)
+	return out, best
+}
+
+// SeamCarve builds the accumulated-energy table of content-aware image
+// resizing: M(i,j) = e(i,j) + min(M(i-1,j-1), M(i-1,j), M(i-1,j+1)).
+// Structurally the checkerboard recurrence on pixel energies; horizontal
+// case-2.
+func SeamCarve(energy [][]int32) *core.Problem[int32] {
+	p := Checkerboard(energy)
+	p.Name = "seamcarve"
+	return p
+}
+
+// SeamCost extracts the total energy of the cheapest vertical seam.
+func SeamCost(g interface {
+	At(i, j int) int32
+	Rows() int
+	Cols() int
+}) int32 {
+	return CheckerboardBest(g)
+}

@@ -1,0 +1,127 @@
+package problems
+
+import (
+	"repro/internal/core"
+)
+
+// Floyd-Steinberg error-diffusion dithering, the paper's §VI-B case study
+// and the canonical knight-move problem (Figure 11).
+//
+// The scatter formulation pushes each pixel's quantization error to its
+// E, SW, S, SE neighbours scaled by 7/16, 3/16, 5/16, 1/16. The equivalent
+// gather formulation reads the already-computed errors of W, NE, N, NW —
+// the full representative set — so Time(i,j) must exceed the times of all
+// four, exactly the scheduling constraint of the paper:
+//
+//	acc(i,j) = 7/16 err(i,j-1) + 3/16 err(i-1,j+1)
+//	         + 5/16 err(i-1,j) + 1/16 err(i-1,j-1)
+//	old      = img(i,j) + acc(i,j)
+//	out      = 255 if old >= 128 else 0
+//	err      = old - out
+//
+// Each cell packs (out, err) into one int32 so the recurrence stays a pure
+// gather over cell values. Integer divisions truncate toward zero in both
+// the framework and reference implementations, making them bit-identical.
+
+// ditherErrBias recenters the error (range about [-510, 510]) into a
+// non-negative field for packing.
+const ditherErrBias = 1024
+
+// PackDither packs an output level (0 or 255) and a signed error into one
+// cell value.
+func PackDither(out uint8, err int32) int32 {
+	return int32(out)<<16 | (err + ditherErrBias)
+}
+
+// UnpackDither splits a packed cell value.
+func UnpackDither(cell int32) (out uint8, err int32) {
+	return uint8(cell >> 16), (cell & 0xffff) - ditherErrBias
+}
+
+// Dither builds the gather-form Floyd-Steinberg problem over a grayscale
+// image. Contributing set {W, NW, N, NE}: knight-move.
+func Dither(img [][]uint8) *core.Problem[int32] {
+	rows, cols := len(img), len(img[0])
+	return &core.Problem[int32]{
+		Name: "floyd-steinberg",
+		Rows: rows,
+		Cols: cols,
+		Deps: core.DepW | core.DepNW | core.DepN | core.DepNE,
+		F: func(i, j int, nb core.Neighbors[int32]) int32 {
+			_, errW := UnpackDither(nb.W)
+			_, errNW := UnpackDither(nb.NW)
+			_, errN := UnpackDither(nb.N)
+			_, errNE := UnpackDither(nb.NE)
+			acc := errW*7/16 + errNE*3/16 + errN*5/16 + errNW*1/16
+			old := int32(img[i][j]) + acc
+			var out uint8
+			if old >= 128 {
+				out = 255
+			}
+			return PackDither(out, old-int32(out))
+		},
+		// Out-of-image neighbours contribute zero error.
+		Boundary:     func(i, j int) int32 { return PackDither(0, 0) },
+		BytesPerCell: 4,
+		InputBytes:   rows * cols, // the 8-bit source image
+	}
+}
+
+// DitherOutput extracts the dithered 1-bit-per-pixel image (stored as
+// 0/255 bytes) from a solved table.
+func DitherOutput(g interface {
+	At(i, j int) int32
+	Rows() int
+	Cols() int
+}) [][]uint8 {
+	out := make([][]uint8, g.Rows())
+	for i := range out {
+		out[i] = make([]uint8, g.Cols())
+		for j := range out[i] {
+			v, _ := UnpackDither(g.At(i, j))
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+// DitherRef runs the classic scatter-form Floyd-Steinberg loop, written
+// independently of the framework: errors propagate E, SW, S, SE with the
+// same truncating integer scalings. It returns the output image and the
+// per-pixel errors for exact comparison.
+func DitherRef(img [][]uint8) (out [][]uint8, errs [][]int32) {
+	rows, cols := len(img), len(img[0])
+	acc := make([][]int32, rows)
+	out = make([][]uint8, rows)
+	errs = make([][]int32, rows)
+	for i := range acc {
+		acc[i] = make([]int32, cols)
+		out[i] = make([]uint8, cols)
+		errs[i] = make([]int32, cols)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			old := int32(img[i][j]) + acc[i][j]
+			var o uint8
+			if old >= 128 {
+				o = 255
+			}
+			e := old - int32(o)
+			out[i][j] = o
+			errs[i][j] = e
+			if j+1 < cols {
+				acc[i][j+1] += e * 7 / 16
+			}
+			if i+1 < rows {
+				if j > 0 {
+					acc[i+1][j-1] += e * 3 / 16
+				}
+				acc[i+1][j] += e * 5 / 16
+				if j+1 < cols {
+					acc[i+1][j+1] += e * 1 / 16
+				}
+			}
+		}
+	}
+	return out, errs
+}

@@ -1,0 +1,15 @@
+// Package problems contains the LDDP-Plus case studies of the paper —
+// Levenshtein distance (anti-diagonal, §VI-A), Floyd-Steinberg dithering
+// (knight-move, §VI-B), and the checkerboard problem (horizontal case-2,
+// §VI-C) — together with further classic LDDP instances that exercise the
+// remaining patterns: longest common subsequence, Needleman-Wunsch and
+// Smith-Waterman alignment, dynamic time warping, and seam carving.
+//
+// Every problem ships in two forms:
+//
+//   - a constructor returning a core.Problem, the framework formulation
+//     (recurrence + contributing set + boundary), and
+//   - an independent straight-line reference implementation (the *Ref
+//     functions), written without the framework, against which the
+//     framework's output is tested cell-for-cell.
+package problems

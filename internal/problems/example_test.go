@@ -1,0 +1,73 @@
+package problems_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+// The paper's §VI-A case study, end to end: build, solve, extract.
+func ExampleLevenshtein() {
+	a, b := "kitten", "sitting"
+	p := problems.Levenshtein(a, b)
+	g, err := core.Solve(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Pattern())
+	fmt.Println(problems.LevenshteinDistance(g, a, b))
+	// Output:
+	// Anti-diagonal
+	// 3
+}
+
+// Traceback recovers an actual edit script, not just the distance.
+func ExampleLevenshteinScript() {
+	a, b := "flaw", "lawn"
+	g, _ := core.Solve(problems.Levenshtein(a, b))
+	ops := problems.LevenshteinScript(g, a, b)
+	fmt.Println(problems.ScriptCost(ops))
+	fmt.Println(problems.ApplyScript(a, b, ops))
+	// Output:
+	// 2
+	// lawn
+}
+
+// Hirschberg's algorithm recovers an LCS string in linear space. (Several
+// optimal subsequences exist for this classic pair; this implementation
+// deterministically returns "BDAB".)
+func ExampleHirschbergLCS() {
+	fmt.Println(problems.HirschbergLCS("ABCBDAB", "BDCABA"))
+	// Output:
+	// BDAB
+}
+
+// The checkerboard problem of §VI-C through the heterogeneous framework.
+func ExampleCheckerboard() {
+	cost := [][]int32{
+		{1, 9, 9},
+		{9, 1, 9},
+		{9, 9, 1},
+	}
+	res, err := core.SolveHetero(problems.Checkerboard(cost), core.Options{TSwitch: -1, TShare: -1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Transfer)
+	fmt.Println(problems.CheckerboardBest(res.Grid))
+	// Output:
+	// 2 way
+	// 3
+}
+
+// The adaptive banded solver computes exact distances in O(n*d).
+func ExampleLevenshteinAdaptive() {
+	d, err := problems.LevenshteinAdaptive("intention", "execution")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d)
+	// Output:
+	// 5
+}

@@ -1,0 +1,151 @@
+package problems
+
+import (
+	"repro/internal/core"
+)
+
+// Further classic LDDP-Plus instances exercising the anti-diagonal
+// pattern, with independent verification paths: a combinatorial identity
+// (Delannoy numbers), a geometric invariant (maximal square), and a
+// complementary-problem identity (shortest common supersequence).
+
+// MaximalSquare builds the classic maximal-square DP over a binary grid:
+// side(i,j) = 0 when grid[i][j] = 0, else 1 + min(W, NW, N). The largest
+// all-ones square's side is the table maximum. Contributing set {W,NW,N}:
+// anti-diagonal.
+func MaximalSquare(grid [][]uint8) *core.Problem[int32] {
+	rows, cols := len(grid), len(grid[0])
+	return &core.Problem[int32]{
+		Name: "maximal-square",
+		Rows: rows,
+		Cols: cols,
+		Deps: core.DepW | core.DepNW | core.DepN,
+		F: func(i, j int, nb core.Neighbors[int32]) int32 {
+			if grid[i][j] == 0 {
+				return 0
+			}
+			return 1 + min(nb.W, nb.NW, nb.N)
+		},
+		// Out-of-table neighbours act as side 0.
+		BytesPerCell: 4,
+		InputBytes:   rows * cols,
+	}
+}
+
+// MaximalSquareSide extracts the side length of the largest all-ones
+// square.
+func MaximalSquareSide(g interface {
+	At(i, j int) int32
+	Rows() int
+	Cols() int
+}) int32 {
+	var best int32
+	for i := 0; i < g.Rows(); i++ {
+		for j := 0; j < g.Cols(); j++ {
+			if v := g.At(i, j); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// MaximalSquareRef finds the largest all-ones square by brute force,
+// O(rows*cols*min^2): an independent oracle for small grids.
+func MaximalSquareRef(grid [][]uint8) int32 {
+	rows, cols := len(grid), len(grid[0])
+	allOnes := func(i, j, side int) bool {
+		for di := 0; di < side; di++ {
+			for dj := 0; dj < side; dj++ {
+				if grid[i+di][j+dj] == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	best := 0
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			for side := best + 1; i+side <= rows && j+side <= cols; side++ {
+				if !allOnes(i, j, side) {
+					break
+				}
+				best = side
+			}
+		}
+	}
+	return int32(best)
+}
+
+// Delannoy builds the Delannoy-number table: D(i,j) counts lattice paths
+// from (0,0) to (i,j) using east, north, and north-east steps, with the
+// recurrence D(i,j) = D(i-1,j) + D(i,j-1) + D(i-1,j-1) and D(i,0) =
+// D(0,j) = 1. Contributing set {W,NW,N}: anti-diagonal. Values are taken
+// modulo 1e9+7 so large tables stay exact in int64.
+func Delannoy(rows, cols int) *core.Problem[int64] {
+	const mod = 1_000_000_007
+	return &core.Problem[int64]{
+		Name: "delannoy",
+		Rows: rows,
+		Cols: cols,
+		Deps: core.DepW | core.DepNW | core.DepN,
+		F: func(i, j int, nb core.Neighbors[int64]) int64 {
+			if i == 0 || j == 0 {
+				return 1
+			}
+			return (nb.W + nb.NW + nb.N) % mod
+		},
+		BytesPerCell: 8,
+	}
+}
+
+// CentralDelannoyFirst12 are D(n,n) for n = 0..11 (OEIS A001850), the
+// closed-form oracle for the Delannoy table.
+var CentralDelannoyFirst12 = []int64{
+	1, 3, 13, 63, 321, 1683, 8989, 48639, 265729, 1462563, 8097453, 45046719,
+}
+
+// SCS builds the shortest-common-supersequence length table:
+// scs(i,j) = i or j on the boundary; NW+1 when characters match; else
+// 1 + min(W, N). Contributing set {W,NW,N}: anti-diagonal. The classic
+// identity |SCS(a,b)| = len(a) + len(b) - |LCS(a,b)| verifies it against
+// the LCS problem.
+func SCS(a, b string) *core.Problem[int32] {
+	return &core.Problem[int32]{
+		Name: "scs",
+		Rows: len(a) + 1,
+		Cols: len(b) + 1,
+		Deps: core.DepW | core.DepNW | core.DepN,
+		F: func(i, j int, nb core.Neighbors[int32]) int32 {
+			switch {
+			case i == 0:
+				return int32(j)
+			case j == 0:
+				return int32(i)
+			case a[i-1] == b[j-1]:
+				return nb.NW + 1
+			}
+			return 1 + min(nb.W, nb.N)
+		},
+		BytesPerCell: 4,
+		InputBytes:   len(a) + len(b),
+	}
+}
+
+// SCSLength extracts the shortest-common-supersequence length.
+func SCSLength(g interface{ At(i, j int) int32 }, a, b string) int32 {
+	return g.At(len(a), len(b))
+}
+
+// LongestPalindromicSubsequence returns the length of the longest
+// palindromic subsequence of s, via the classic identity
+// LPS(s) = |LCS(s, reverse(s))| — another anti-diagonal problem for free.
+func LongestPalindromicSubsequence(s string) (int32, error) {
+	r := reverseString(s)
+	g, err := core.Solve(LCS(s, r))
+	if err != nil {
+		return 0, err
+	}
+	return LCSLength(g, s, r), nil
+}

@@ -1,0 +1,61 @@
+package problems
+
+// Hirschberg's divide-and-conquer LCS: recovers a longest common
+// subsequence string in O(min(m,n)) working space instead of the full
+// O(mn) table, the classic answer to "the table does not fit". It pairs
+// with the framework's full-table traceback (LCSString) as the two ends of
+// the space/time trade-off and cross-checks it in tests.
+
+// lcsLastRow returns the final row of the LCS length table of a vs b,
+// in O(len(b)) space.
+func lcsLastRow(a, b string) []int32 {
+	prev := make([]int32, len(b)+1)
+	cur := make([]int32, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else {
+				cur[j] = max(cur[j-1], prev[j])
+			}
+		}
+		prev, cur = cur, prev
+		clear(cur)
+	}
+	return prev
+}
+
+// reverseString returns s reversed.
+func reverseString(s string) string {
+	b := []byte(s)
+	reverseBytes(b)
+	return string(b)
+}
+
+// HirschbergLCS returns one longest common subsequence of a and b using
+// linear space.
+func HirschbergLCS(a, b string) string {
+	switch {
+	case len(a) == 0 || len(b) == 0:
+		return ""
+	case len(a) == 1:
+		for i := 0; i < len(b); i++ {
+			if b[i] == a[0] {
+				return a
+			}
+		}
+		return ""
+	}
+	mid := len(a) / 2
+	// Score of pairing a[:mid] with b[:j], and a[mid:] with b[j:], for
+	// every split point j; the optimal j maximizes their sum.
+	left := lcsLastRow(a[:mid], b)
+	right := lcsLastRow(reverseString(a[mid:]), reverseString(b))
+	bestJ, bestScore := 0, int32(-1)
+	for j := 0; j <= len(b); j++ {
+		if s := left[j] + right[len(b)-j]; s > bestScore {
+			bestJ, bestScore = j, s
+		}
+	}
+	return HirschbergLCS(a[:mid], b[:bestJ]) + HirschbergLCS(a[mid:], b[bestJ:])
+}

@@ -1,0 +1,73 @@
+package problems
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestHirschbergLCSClassic(t *testing.T) {
+	got := HirschbergLCS("ABCBDAB", "BDCABA")
+	if len(got) != 4 {
+		t.Errorf("LCS %q has length %d, want 4", got, len(got))
+	}
+	if !isSubsequence(got, "ABCBDAB") || !isSubsequence(got, "BDCABA") {
+		t.Errorf("%q is not a common subsequence", got)
+	}
+}
+
+func TestHirschbergLCSEdgeCases(t *testing.T) {
+	cases := []struct {
+		a, b, want string
+	}{
+		{"", "", ""},
+		{"", "abc", ""},
+		{"abc", "", ""},
+		{"a", "a", "a"},
+		{"a", "b", ""},
+		{"abc", "abc", "abc"},
+	}
+	for _, c := range cases {
+		if got := HirschbergLCS(c.a, c.b); got != c.want {
+			t.Errorf("HirschbergLCS(%q,%q) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: the linear-space LCS always has the optimal length and is a
+// common subsequence — and so agrees in length with both the framework's
+// full-table traceback and the reference.
+func TestHirschbergLCSProperty(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		a := workload.RandomString(seedA, int(seedA%30)+1, "ABC")
+		b := workload.RandomString(seedB, int(seedB%30)+1, "ABC")
+		got := HirschbergLCS(a, b)
+		if !isSubsequence(got, a) || !isSubsequence(got, b) {
+			return false
+		}
+		return int32(len(got)) == LCSRef(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHirschbergMatchesFullTableTraceback(t *testing.T) {
+	a, b := workload.SimilarStrings(31, 300, workload.DNAAlphabet, 0.3)
+	g, err := core.Solve(LCS(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := LCSString(g, a, b)
+	linear := HirschbergLCS(a, b)
+	// Both must be optimal; the strings themselves may differ when several
+	// LCSs exist.
+	if len(full) != len(linear) {
+		t.Errorf("full-table LCS length %d != linear-space length %d", len(full), len(linear))
+	}
+	if !isSubsequence(linear, a) || !isSubsequence(linear, b) {
+		t.Error("linear-space LCS is not a common subsequence")
+	}
+}

@@ -1,0 +1,65 @@
+package problems
+
+import (
+	"repro/internal/core"
+)
+
+// LCS3 builds the longest-common-subsequence table of three strings — the
+// canonical k = 3 LDDP-Plus instance:
+//
+//	L(i,j,k) = L(i-1,j-1,k-1) + 1                   if a[i] = b[j] = c[k]
+//	L(i,j,k) = max(L(i-1,j,k), L(i,j-1,k), L(i,j,k-1)) otherwise
+//
+// over an (len(a)+1) x (len(b)+1) x (len(c)+1) box with zero boundaries.
+// The contributing set {X, Y, Z, XYZ} draws on the 3-D representative set
+// (the predecessor corners of the unit cube).
+func LCS3(a, b, c string) *core.Problem3[int32] {
+	return &core.Problem3[int32]{
+		Name: "lcs3",
+		NX:   len(a) + 1,
+		NY:   len(b) + 1,
+		NZ:   len(c) + 1,
+		Deps: core.Dep3X | core.Dep3Y | core.Dep3Z | core.Dep3XYZ,
+		F: func(i, j, k int, nb core.Neighbors3[int32]) int32 {
+			if i == 0 || j == 0 || k == 0 {
+				return 0
+			}
+			if a[i-1] == b[j-1] && b[j-1] == c[k-1] {
+				return nb.XYZ + 1
+			}
+			return max(nb.X, nb.Y, nb.Z)
+		},
+		BytesPerCell: 4,
+		InputBytes:   len(a) + len(b) + len(c),
+	}
+}
+
+// LCS3Length extracts the three-way LCS length from a solved box.
+func LCS3Length(g interface{ At(i, j, k int) int32 }, a, b, c string) int32 {
+	return g.At(len(a), len(b), len(c))
+}
+
+// LCS3Ref computes the three-way LCS length with an independent
+// rolling-plane implementation.
+func LCS3Ref(a, b, c string) int32 {
+	ny, nz := len(b)+1, len(c)+1
+	prev := make([]int32, ny*nz)
+	cur := make([]int32, ny*nz)
+	at := func(p []int32, j, k int) int32 { return p[j*nz+k] }
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			for k := 1; k <= len(c); k++ {
+				var v int32
+				if a[i-1] == b[j-1] && b[j-1] == c[k-1] {
+					v = at(prev, j-1, k-1) + 1
+				} else {
+					v = max(at(prev, j, k), at(cur, j-1, k), at(cur, j, k-1))
+				}
+				cur[j*nz+k] = v
+			}
+		}
+		prev, cur = cur, prev
+		clear(cur)
+	}
+	return at(prev, len(b), len(c))
+}

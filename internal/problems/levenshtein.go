@@ -1,0 +1,111 @@
+package problems
+
+import (
+	"repro/internal/core"
+)
+
+// Levenshtein builds the paper's §VI-A case study: the edit-distance table
+// for strings a and b. The recurrence
+//
+//	f(i,j) = max(i,j)                                  if min(i,j) = 0
+//	f(i,j) = f(i-1,j-1)                                if a[i] = b[j]
+//	f(i,j) = 1 + min(f(i-1,j), f(i,j-1), f(i-1,j-1))   otherwise
+//
+// reads {W, NW, N} and therefore follows the anti-diagonal pattern.
+// The table is (len(a)+1) x (len(b)+1).
+func Levenshtein(a, b string) *core.Problem[int32] {
+	return &core.Problem[int32]{
+		Name: "levenshtein",
+		Rows: len(a) + 1,
+		Cols: len(b) + 1,
+		Deps: core.DepW | core.DepNW | core.DepN,
+		F: func(i, j int, nb core.Neighbors[int32]) int32 {
+			if i == 0 || j == 0 {
+				return int32(max(i, j))
+			}
+			if a[i-1] == b[j-1] {
+				return nb.NW
+			}
+			return 1 + min(nb.W, nb.NW, nb.N)
+		},
+		BytesPerCell: 4,
+		// The inputs are two strings; their upload is negligible next to
+		// the table (the paper's Fig 10 discussion attributes the GPU's
+		// small-size losses to kernel setup, not input transfer).
+		InputBytes: len(a) + len(b),
+	}
+}
+
+// LevenshteinDistance extracts the edit distance from a solved table.
+func LevenshteinDistance(g interface{ At(i, j int) int32 }, a, b string) int32 {
+	return g.At(len(a), len(b))
+}
+
+// LevenshteinRef computes the edit distance with an independent two-row
+// implementation (no framework types).
+func LevenshteinRef(a, b string) int32 {
+	prev := make([]int32, len(b)+1)
+	cur := make([]int32, len(b)+1)
+	for j := range prev {
+		prev[j] = int32(j)
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = int32(i)
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1]
+			} else {
+				cur[j] = 1 + min(cur[j-1], prev[j-1], prev[j])
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// LCS builds the longest-common-subsequence table for a and b — the
+// problem Figure 1(c) uses to illustrate contributing cells, and the
+// workload of the paper's Figure 7 tuning experiment. Contributing set
+// {W, NW, N}: anti-diagonal.
+func LCS(a, b string) *core.Problem[int32] {
+	return &core.Problem[int32]{
+		Name: "lcs",
+		Rows: len(a) + 1,
+		Cols: len(b) + 1,
+		Deps: core.DepW | core.DepNW | core.DepN,
+		F: func(i, j int, nb core.Neighbors[int32]) int32 {
+			if i == 0 || j == 0 {
+				return 0
+			}
+			if a[i-1] == b[j-1] {
+				return nb.NW + 1
+			}
+			return max(nb.W, nb.N)
+		},
+		BytesPerCell: 4,
+		InputBytes:   len(a) + len(b),
+	}
+}
+
+// LCSLength extracts the LCS length from a solved table.
+func LCSLength(g interface{ At(i, j int) int32 }, a, b string) int32 {
+	return g.At(len(a), len(b))
+}
+
+// LCSRef computes the LCS length independently.
+func LCSRef(a, b string) int32 {
+	prev := make([]int32, len(b)+1)
+	cur := make([]int32, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else {
+				cur[j] = max(cur[j-1], prev[j])
+			}
+		}
+		prev, cur = cur, prev
+		clear(cur)
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,194 @@
+package problems
+
+import (
+	"repro/internal/table"
+)
+
+// Solution recovery ("traceback") over solved DP tables. The framework
+// fills full tables, so optimal solutions — not just their scores — can be
+// reconstructed by walking each recurrence backwards. These walks are
+// O(rows+cols) and run on the host after the solve.
+
+// EditOp is one operation of an edit script.
+type EditOp struct {
+	// Kind is one of "match", "substitute", "insert", "delete".
+	Kind string
+	// I and J are the 1-based positions in a and b the operation consumes
+	// (0 when the respective string is not consumed).
+	I, J int
+}
+
+// LevenshteinScript reconstructs a minimal edit script from a solved
+// Levenshtein table. Insertions insert b's characters into a; deletions
+// remove a's characters. The script length equals len(a) matches plus the
+// edit distance... more precisely: the number of non-match operations
+// equals the distance.
+func LevenshteinScript(g *table.Grid[int32], a, b string) []EditOp {
+	var ops []EditOp
+	i, j := len(a), len(b)
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && a[i-1] == b[j-1] && g.At(i, j) == g.At(i-1, j-1):
+			ops = append(ops, EditOp{Kind: "match", I: i, J: j})
+			i, j = i-1, j-1
+		case i > 0 && j > 0 && g.At(i, j) == g.At(i-1, j-1)+1:
+			ops = append(ops, EditOp{Kind: "substitute", I: i, J: j})
+			i, j = i-1, j-1
+		case i > 0 && g.At(i, j) == g.At(i-1, j)+1:
+			ops = append(ops, EditOp{Kind: "delete", I: i})
+			i--
+		default:
+			ops = append(ops, EditOp{Kind: "insert", J: j})
+			j--
+		}
+	}
+	reverseOps(ops)
+	return ops
+}
+
+// ApplyScript replays an edit script produced by LevenshteinScript on a,
+// returning the transformed string (which must equal b).
+func ApplyScript(a, b string, ops []EditOp) string {
+	out := make([]byte, 0, len(b))
+	for _, op := range ops {
+		switch op.Kind {
+		case "match":
+			out = append(out, a[op.I-1])
+		case "substitute", "insert":
+			out = append(out, b[op.J-1])
+		case "delete":
+			// consumes a[op.I-1], emits nothing
+		}
+	}
+	return string(out)
+}
+
+// ScriptCost counts the non-match operations of a script: its edit cost.
+func ScriptCost(ops []EditOp) int {
+	n := 0
+	for _, op := range ops {
+		if op.Kind != "match" {
+			n++
+		}
+	}
+	return n
+}
+
+// LCSString reconstructs one longest common subsequence from a solved LCS
+// table.
+func LCSString(g *table.Grid[int32], a, b string) string {
+	var out []byte
+	i, j := len(a), len(b)
+	for i > 0 && j > 0 {
+		switch {
+		case a[i-1] == b[j-1] && g.At(i, j) == g.At(i-1, j-1)+1:
+			out = append(out, a[i-1])
+			i, j = i-1, j-1
+		case g.At(i-1, j) >= g.At(i, j-1):
+			i--
+		default:
+			j--
+		}
+	}
+	reverseBytes(out)
+	return string(out)
+}
+
+// Alignment is a pair of gapped strings of equal length.
+type Alignment struct {
+	A, B string
+}
+
+// GlobalAlignment reconstructs one optimal global alignment from a solved
+// Needleman-Wunsch table. Gaps render as '-'.
+func GlobalAlignment(g *table.Grid[int32], a, b string, s AlignScores) Alignment {
+	var outA, outB []byte
+	i, j := len(a), len(b)
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && g.At(i, j) == g.At(i-1, j-1)+s.sub(a[i-1], b[j-1]):
+			outA = append(outA, a[i-1])
+			outB = append(outB, b[j-1])
+			i, j = i-1, j-1
+		case i > 0 && g.At(i, j) == g.At(i-1, j)+s.Gap:
+			outA = append(outA, a[i-1])
+			outB = append(outB, '-')
+			i--
+		default:
+			outA = append(outA, '-')
+			outB = append(outB, b[j-1])
+			j--
+		}
+	}
+	reverseBytes(outA)
+	reverseBytes(outB)
+	return Alignment{A: string(outA), B: string(outB)}
+}
+
+// Score computes the score of an alignment under s, for verification.
+func (al Alignment) Score(s AlignScores) int32 {
+	var total int32
+	for k := 0; k < len(al.A); k++ {
+		x, y := al.A[k], al.B[k]
+		switch {
+		case x == '-' || y == '-':
+			total += s.Gap
+		default:
+			total += s.sub(x, y)
+		}
+	}
+	return total
+}
+
+// CheckerboardPath reconstructs a cheapest path from a solved checkerboard
+// table: one column index per row, top to bottom, each step moving at most
+// one column.
+func CheckerboardPath(g *table.Grid[int32], cost [][]int32) []int {
+	rows, cols := g.Rows(), g.Cols()
+	path := make([]int, rows)
+	best := 0
+	for j := 1; j < cols; j++ {
+		if g.At(rows-1, j) < g.At(rows-1, best) {
+			best = j
+		}
+	}
+	path[rows-1] = best
+	for i := rows - 1; i > 0; i-- {
+		j := path[i]
+		// The parent is whichever in-range neighbour of the previous row
+		// yields this cell's value.
+		parent := -1
+		for _, cand := range []int{j - 1, j, j + 1} {
+			if cand < 0 || cand >= cols {
+				continue
+			}
+			if g.At(i, j) == cost[i][j]+g.At(i-1, cand) {
+				parent = cand
+				break
+			}
+		}
+		path[i-1] = parent
+	}
+	return path
+}
+
+// PathCost sums the costs along a checkerboard path.
+func PathCost(cost [][]int32, path []int) int32 {
+	var total int32
+	for i, j := range path {
+		total += cost[i][j]
+	}
+	return total
+}
+
+func reverseOps(ops []EditOp) {
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+}
+
+func reverseBytes(b []byte) {
+	for l, r := 0, len(b)-1; l < r; l, r = l+1, r-1 {
+		b[l], b[r] = b[r], b[l]
+	}
+}

@@ -1,0 +1,153 @@
+package problems
+
+import (
+	"repro/internal/table"
+)
+
+// Affine-gap (Gotoh) traceback: reconstruct an optimal alignment from the
+// solved three-state table. The walk tracks which state (M, X or Y) the
+// optimum passes through — the part linear-gap tracebacks don't need — and
+// is verified by re-scoring the recovered alignment under the affine model.
+
+// affineState identifies the recurrence state the traceback is in.
+type affineState uint8
+
+const (
+	stateM affineState = iota // diagonal (match/mismatch)
+	stateX                    // gap in b (consumes a)
+	stateY                    // gap in a (consumes b)
+)
+
+// AffineAlignment reconstructs one optimal global affine-gap alignment
+// from a solved Gotoh table.
+func AffineAlignment(g *table.Grid[AffineCell], a, b string, s AffineScores) Alignment {
+	var outA, outB []byte
+	i, j := len(a), len(b)
+
+	// Start in whichever state attains the optimum at the corner.
+	cur := g.At(i, j)
+	st := stateM
+	best := cur.M
+	if cur.X > best {
+		st, best = stateX, cur.X
+	}
+	if cur.Y > best {
+		st = stateY
+	}
+
+	for i > 0 || j > 0 {
+		cell := g.At(i, j)
+		switch {
+		case st == stateM && i > 0 && j > 0:
+			outA = append(outA, a[i-1])
+			outB = append(outB, b[j-1])
+			prev := g.At(i-1, j-1)
+			sub := s.sub(a[i-1], b[j-1])
+			switch {
+			case cell.M == prev.M+sub:
+				st = stateM
+			case cell.M == prev.X+sub:
+				st = stateX
+			default:
+				st = stateY
+			}
+			i, j = i-1, j-1
+		case st == stateX && i > 0:
+			outA = append(outA, a[i-1])
+			outB = append(outB, '-')
+			prev := g.At(i-1, j)
+			if cell.X == prev.M+s.Open {
+				st = stateM
+			} else {
+				st = stateX
+			}
+			i--
+		case st == stateY && j > 0:
+			outA = append(outA, '-')
+			outB = append(outB, b[j-1])
+			prev := g.At(i, j-1)
+			if cell.Y == prev.M+s.Open {
+				st = stateM
+			} else {
+				st = stateY
+			}
+			j--
+		case i > 0:
+			// Boundary column: only X (gap in b) continues.
+			st = stateX
+		default:
+			st = stateY
+		}
+	}
+	reverseBytes(outA)
+	reverseBytes(outB)
+	return Alignment{A: string(outA), B: string(outB)}
+}
+
+// AffineScoreOf re-scores an alignment under the affine model, charging
+// Open for each gap opening and Extend for each further gap position: the
+// verification oracle for AffineAlignment.
+func AffineScoreOf(al Alignment, s AffineScores) int32 {
+	var total int32
+	inGapA, inGapB := false, false
+	for k := 0; k < len(al.A); k++ {
+		x, y := al.A[k], al.B[k]
+		switch {
+		case x == '-':
+			if inGapA {
+				total += s.Extend
+			} else {
+				total += s.Open
+			}
+			inGapA, inGapB = true, false
+		case y == '-':
+			if inGapB {
+				total += s.Extend
+			} else {
+				total += s.Open
+			}
+			inGapB, inGapA = true, false
+		default:
+			total += s.sub(x, y)
+			inGapA, inGapB = false, false
+		}
+	}
+	return total
+}
+
+// LocalAlignment reconstructs one optimal local (Smith-Waterman) alignment
+// from a solved table: the walk starts at the table maximum and stops at
+// the first zero cell. It returns the aligned fragments and their 1-based
+// end positions in a and b.
+func LocalAlignment(g *table.Grid[int32], a, b string, s AlignScores) (al Alignment, endA, endB int) {
+	bi, bj := 0, 0
+	for i := 0; i <= len(a); i++ {
+		for j := 0; j <= len(b); j++ {
+			if g.At(i, j) > g.At(bi, bj) {
+				bi, bj = i, j
+			}
+		}
+	}
+	var outA, outB []byte
+	i, j := bi, bj
+	for i > 0 && j > 0 && g.At(i, j) > 0 {
+		v := g.At(i, j)
+		switch {
+		case v == g.At(i-1, j-1)+s.sub(a[i-1], b[j-1]):
+			outA = append(outA, a[i-1])
+			outB = append(outB, b[j-1])
+			i, j = i-1, j-1
+		case v == g.At(i-1, j)+s.Gap:
+			outA = append(outA, a[i-1])
+			outB = append(outB, '-')
+			i--
+		default:
+			outA = append(outA, '-')
+			outB = append(outB, b[j-1])
+			j--
+		}
+	}
+	reverseBytes(outA)
+	reverseBytes(outB)
+	return Alignment{A: string(outA), B: string(outB)}, bi, bj
+}

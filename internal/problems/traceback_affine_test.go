@@ -1,0 +1,103 @@
+package problems
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestAffineAlignmentRecovery(t *testing.T) {
+	s := DefaultAffineScores()
+	a := "AAAATTTT"
+	b := "AAAACCCCCTTTT"
+	g := solvedGrid(t, AffineAlign(a, b, s))
+	al := AffineAlignment(g, a, b, s)
+	if strings.ReplaceAll(al.A, "-", "") != a || strings.ReplaceAll(al.B, "-", "") != b {
+		t.Fatalf("alignment does not spell the inputs: %q / %q", al.A, al.B)
+	}
+	if got, want := AffineScoreOf(al, s), AffineScore(g, a, b); got != want {
+		t.Errorf("recovered alignment scores %d, DP optimum %d", got, want)
+	}
+	// The optimal solution uses one contiguous 5-gap, not scattered gaps.
+	if !strings.Contains(al.A, "-----") {
+		t.Errorf("expected one contiguous 5-gap in %q", al.A)
+	}
+}
+
+func TestAffineAlignmentEdgeCases(t *testing.T) {
+	s := DefaultAffineScores()
+	for _, c := range []struct{ a, b string }{
+		{"", ""}, {"", "ACG"}, {"ACG", ""}, {"A", "A"}, {"ACGT", "TGCA"},
+	} {
+		if c.a == "" && c.b == "" {
+			continue // empty alignment trivially scores 0
+		}
+		g := solvedGrid(t, AffineAlign(c.a, c.b, s))
+		al := AffineAlignment(g, c.a, c.b, s)
+		if strings.ReplaceAll(al.A, "-", "") != c.a || strings.ReplaceAll(al.B, "-", "") != c.b {
+			t.Errorf("(%q,%q): alignment %q/%q does not spell inputs", c.a, c.b, al.A, al.B)
+		}
+		if got, want := AffineScoreOf(al, s), AffineScore(g, c.a, c.b); got != want {
+			t.Errorf("(%q,%q): score %d != optimum %d", c.a, c.b, got, want)
+		}
+	}
+}
+
+// Property: the recovered affine alignment always re-scores to the DP
+// optimum — the traceback never takes an inconsistent branch.
+func TestAffineAlignmentScoreProperty(t *testing.T) {
+	s := DefaultAffineScores()
+	f := func(seedA, seedB uint64) bool {
+		a := workload.RandomString(seedA, int(seedA%15)+1, workload.DNAAlphabet)
+		b := workload.RandomString(seedB, int(seedB%15)+1, workload.DNAAlphabet)
+		g, err := core.Solve(AffineAlign(a, b, s))
+		if err != nil {
+			return false
+		}
+		al := AffineAlignment(g, a, b, s)
+		return AffineScoreOf(al, s) == AffineScore(g, a, b) &&
+			strings.ReplaceAll(al.A, "-", "") == a &&
+			strings.ReplaceAll(al.B, "-", "") == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalAlignmentRecovery(t *testing.T) {
+	s := DefaultAlignScores()
+	a := "xxxxACGTACGTxxxx"
+	b := "yyACGTACGTyy"
+	g := solvedGrid(t, SmithWaterman(a, b, s))
+	al, endA, endB := LocalAlignment(g, a, b, s)
+	if al.A != "ACGTACGT" || al.B != "ACGTACGT" {
+		t.Errorf("local alignment = %q/%q, want the embedded ACGTACGT", al.A, al.B)
+	}
+	if endA != 12 || endB != 10 {
+		t.Errorf("end positions = %d/%d, want 12/10", endA, endB)
+	}
+	if got, want := al.Score(s), LocalBestScore(g); got != want {
+		t.Errorf("fragment scores %d, DP best %d", got, want)
+	}
+}
+
+// Property: the local fragment's linear score equals the table maximum.
+func TestLocalAlignmentScoreProperty(t *testing.T) {
+	s := DefaultAlignScores()
+	f := func(seedA, seedB uint64) bool {
+		a := workload.RandomString(seedA, int(seedA%20)+1, workload.DNAAlphabet)
+		b := workload.RandomString(seedB, int(seedB%20)+1, workload.DNAAlphabet)
+		g, err := core.Solve(SmithWaterman(a, b, s))
+		if err != nil {
+			return false
+		}
+		al, _, _ := LocalAlignment(g, a, b, s)
+		return al.Score(s) == LocalBestScore(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package problems
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func solvedGrid[T any](t *testing.T, p *core.Problem[T]) *table.Grid[T] {
+	t.Helper()
+	g, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLevenshteinScriptKitten(t *testing.T) {
+	a, b := "kitten", "sitting"
+	g := solvedGrid(t, Levenshtein(a, b))
+	ops := LevenshteinScript(g, a, b)
+	if got := ScriptCost(ops); got != 3 {
+		t.Errorf("script cost = %d, want 3", got)
+	}
+	if got := ApplyScript(a, b, ops); got != b {
+		t.Errorf("ApplyScript = %q, want %q", got, b)
+	}
+}
+
+func TestLevenshteinScriptEdgeCases(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"", ""}, {"", "abc"}, {"abc", ""}, {"same", "same"}, {"ab", "ba"},
+	}
+	for _, c := range cases {
+		g := solvedGrid(t, Levenshtein(c.a, c.b))
+		ops := LevenshteinScript(g, c.a, c.b)
+		if got := ApplyScript(c.a, c.b, ops); got != c.b {
+			t.Errorf("(%q,%q): ApplyScript = %q", c.a, c.b, got)
+		}
+		if int32(ScriptCost(ops)) != LevenshteinRef(c.a, c.b) {
+			t.Errorf("(%q,%q): cost %d != distance %d", c.a, c.b, ScriptCost(ops), LevenshteinRef(c.a, c.b))
+		}
+	}
+}
+
+// Property: for random string pairs the recovered script transforms a into
+// b with exactly distance non-match operations.
+func TestLevenshteinScriptProperty(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		a := workload.RandomString(seedA, int(seedA%23)+1, workload.DNAAlphabet)
+		b := workload.RandomString(seedB, int(seedB%23)+1, workload.DNAAlphabet)
+		g, err := core.Solve(Levenshtein(a, b))
+		if err != nil {
+			return false
+		}
+		ops := LevenshteinScript(g, a, b)
+		return ApplyScript(a, b, ops) == b &&
+			int32(ScriptCost(ops)) == LevenshteinRef(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isSubsequence(sub, s string) bool {
+	i := 0
+	for j := 0; j < len(s) && i < len(sub); j++ {
+		if s[j] == sub[i] {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+func TestLCSStringClassic(t *testing.T) {
+	a, b := "ABCBDAB", "BDCABA"
+	g := solvedGrid(t, LCS(a, b))
+	lcs := LCSString(g, a, b)
+	if len(lcs) != 4 {
+		t.Errorf("LCS %q has length %d, want 4", lcs, len(lcs))
+	}
+	if !isSubsequence(lcs, a) || !isSubsequence(lcs, b) {
+		t.Errorf("LCS %q is not a common subsequence of %q and %q", lcs, a, b)
+	}
+}
+
+// Property: the recovered string is a common subsequence of both inputs
+// with length equal to the DP answer.
+func TestLCSStringProperty(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		a := workload.RandomString(seedA, int(seedA%20)+1, "AB")
+		b := workload.RandomString(seedB, int(seedB%20)+1, "AB")
+		g, err := core.Solve(LCS(a, b))
+		if err != nil {
+			return false
+		}
+		lcs := LCSString(g, a, b)
+		return isSubsequence(lcs, a) && isSubsequence(lcs, b) &&
+			int32(len(lcs)) == LCSRef(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalAlignmentRecovery(t *testing.T) {
+	s := DefaultAlignScores()
+	a, b := "GATTACA", "GCATGCU"
+	g := solvedGrid(t, NeedlemanWunsch(a, b, s))
+	al := GlobalAlignment(g, a, b, s)
+	if len(al.A) != len(al.B) {
+		t.Fatalf("alignment rows differ in length: %q / %q", al.A, al.B)
+	}
+	if strings.ReplaceAll(al.A, "-", "") != a || strings.ReplaceAll(al.B, "-", "") != b {
+		t.Errorf("alignment does not spell the inputs: %q / %q", al.A, al.B)
+	}
+	if got, want := al.Score(s), GlobalScore(g, a, b); got != want {
+		t.Errorf("alignment score %d != DP score %d", got, want)
+	}
+}
+
+// Property: recovered alignments always re-score to the DP optimum.
+func TestGlobalAlignmentScoreProperty(t *testing.T) {
+	s := DefaultAlignScores()
+	f := func(seedA, seedB uint64) bool {
+		a := workload.RandomString(seedA, int(seedA%18)+1, workload.DNAAlphabet)
+		b := workload.RandomString(seedB, int(seedB%18)+1, workload.DNAAlphabet)
+		g, err := core.Solve(NeedlemanWunsch(a, b, s))
+		if err != nil {
+			return false
+		}
+		al := GlobalAlignment(g, a, b, s)
+		return al.Score(s) == GlobalScore(g, a, b) &&
+			strings.ReplaceAll(al.A, "-", "") == a &&
+			strings.ReplaceAll(al.B, "-", "") == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckerboardPathRecovery(t *testing.T) {
+	cost := workload.CostGrid(31, 40, 25, 30)
+	g := solvedGrid(t, Checkerboard(cost))
+	path := CheckerboardPath(g, cost)
+	if len(path) != 40 {
+		t.Fatalf("path length %d, want 40", len(path))
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i] < 0 || path[i] >= 25 {
+			t.Fatalf("path[%d] = %d out of range", i, path[i])
+		}
+		d := path[i] - path[i-1]
+		if d < -1 || d > 1 {
+			t.Fatalf("path jumps %d columns between rows %d and %d", d, i-1, i)
+		}
+	}
+	if got, want := PathCost(cost, path), CheckerboardBest(g); got != want {
+		t.Errorf("path cost %d != DP best %d", got, want)
+	}
+}
+
+// Property: the recovered path is always valid and achieves the optimum.
+func TestCheckerboardPathProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rows := int(seed%12) + 2
+		cols := int(seed/7%12) + 2
+		cost := workload.CostGrid(seed, rows, cols, 9)
+		g, err := core.Solve(Checkerboard(cost))
+		if err != nil {
+			return false
+		}
+		path := CheckerboardPath(g, cost)
+		for i := 1; i < len(path); i++ {
+			if path[i] < 0 || path[i] >= cols || path[i]-path[i-1] < -1 || path[i]-path[i-1] > 1 {
+				return false
+			}
+		}
+		return PathCost(cost, path) == CheckerboardBest(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracebackWorksOnHeteroSolvedGrids(t *testing.T) {
+	// The traceback routines must work on grids produced by any solver,
+	// including the heterogeneous one with its pattern-specific layout.
+	a, b := workload.SimilarStrings(3, 120, workload.ASCIIAlphabet, 0.2)
+	res, err := core.SolveHetero(Levenshtein(a, b), core.Options{TSwitch: -1, TShare: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := LevenshteinScript(res.Grid, a, b)
+	if got := ApplyScript(a, b, ops); got != b {
+		t.Errorf("script from hetero grid fails to transform a into b")
+	}
+}

@@ -1,0 +1,156 @@
+// Package stats provides the small numerical toolkit the experiment
+// analyses need: summary statistics and least-squares power-law fits for
+// scaling analysis of measured series.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+	Median   float64
+	StdDev   float64
+	P25, P75 float64
+}
+
+// Summarize computes order statistics; it returns an error on an empty
+// sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, errors.New("stats: empty sample")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	var sum, sumSq float64
+	for _, v := range s {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Median: quantileSorted(s, 0.5),
+		StdDev: math.Sqrt(variance),
+		P25:    quantileSorted(s, 0.25),
+		P75:    quantileSorted(s, 0.75),
+	}, nil
+}
+
+// quantileSorted interpolates the q-quantile of a sorted sample.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// PowerFit is the least-squares fit of y = C * x^Alpha.
+type PowerFit struct {
+	C     float64
+	Alpha float64
+	// R2 is the coefficient of determination in log-log space.
+	R2 float64
+}
+
+// FitPower fits y = C * x^alpha by linear regression in log-log space.
+// All inputs must be positive; at least two points are required.
+func FitPower(xs, ys []float64) (PowerFit, error) {
+	if len(xs) != len(ys) {
+		return PowerFit{}, errors.New("stats: mismatched series lengths")
+	}
+	if len(xs) < 2 {
+		return PowerFit{}, errors.New("stats: need at least two points")
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return PowerFit{}, errors.New("stats: power fit requires positive values")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	slope, intercept, r2 := linearFit(lx, ly)
+	return PowerFit{C: math.Exp(intercept), Alpha: slope, R2: r2}, nil
+}
+
+// linearFit returns the least-squares slope, intercept and R^2 of y on x.
+func linearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	var ssRes float64
+	for i := range xs {
+		d := ys[i] - (slope*xs[i] + intercept)
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/ssTot
+	return slope, intercept, r2
+}
+
+// Speedup returns a/b elementwise; series must have equal lengths.
+func Speedup(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, errors.New("stats: mismatched series lengths")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		if b[i] == 0 {
+			return nil, errors.New("stats: division by zero")
+		}
+		out[i] = a[i] / b[i]
+	}
+	return out, nil
+}
+
+// GeoMean returns the geometric mean of a positive sample.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: empty sample")
+	}
+	var sum float64
+	for _, v := range xs {
+		if v <= 0 {
+			return 0, errors.New("stats: geometric mean requires positive values")
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}

@@ -1,0 +1,137 @@
+// Package table provides the DP-table storage used by the LDDP framework:
+// a generic dense 2-D grid plus pattern-aware memory layouts.
+//
+// Paper §IV-B observes that GPU global-memory access is only efficient when
+// the threads of one iteration touch contiguous addresses, and therefore
+// stores "all the cells marked with the same number ... together in a one
+// dimensional array". The Layout types implement exactly that: bijective
+// maps from (row, col) to a position in a flat array such that each
+// wavefront of the corresponding pattern occupies a contiguous span.
+package table
+
+import "fmt"
+
+// Grid is a dense rows x cols table of T backed by a single flat slice in
+// the order defined by its Layout.
+type Grid[T any] struct {
+	rows, cols int
+	layout     Layout
+	data       []T
+}
+
+// NewGrid allocates a zeroed grid with the given layout. A nil layout means
+// RowMajor. NewGrid panics on non-positive dimensions: every LDDP problem
+// has at least one cell, so this is a programming error.
+func NewGrid[T any](rows, cols int, layout Layout) *Grid[T] {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("table: invalid grid size %dx%d", rows, cols))
+	}
+	if layout == nil {
+		layout = RowMajor{}
+	}
+	return &Grid[T]{
+		rows:   rows,
+		cols:   cols,
+		layout: layout,
+		data:   make([]T, rows*cols),
+	}
+}
+
+// Rows returns the number of rows.
+func (g *Grid[T]) Rows() int { return g.rows }
+
+// Cols returns the number of columns.
+func (g *Grid[T]) Cols() int { return g.cols }
+
+// Len returns the total number of cells.
+func (g *Grid[T]) Len() int { return g.rows * g.cols }
+
+// Layout returns the grid's memory layout.
+func (g *Grid[T]) Layout() Layout { return g.layout }
+
+// At returns the value at (i, j). Bounds are checked by the slice access
+// after the layout map; layouts are bijections onto [0, rows*cols).
+func (g *Grid[T]) At(i, j int) T {
+	return g.data[g.layout.Index(g.rows, g.cols, i, j)]
+}
+
+// Set stores v at (i, j).
+func (g *Grid[T]) Set(i, j int, v T) {
+	g.data[g.layout.Index(g.rows, g.cols, i, j)] = v
+}
+
+// InBounds reports whether (i, j) is a valid cell.
+func (g *Grid[T]) InBounds(i, j int) bool {
+	return i >= 0 && i < g.rows && j >= 0 && j < g.cols
+}
+
+// Fill sets every cell to f(i, j). A nil f zeroes the grid.
+func (g *Grid[T]) Fill(f func(i, j int) T) {
+	if f == nil {
+		clear(g.data)
+		return
+	}
+	for i := 0; i < g.rows; i++ {
+		for j := 0; j < g.cols; j++ {
+			g.Set(i, j, f(i, j))
+		}
+	}
+}
+
+// Clone returns a deep copy with the same layout.
+func (g *Grid[T]) Clone() *Grid[T] {
+	c := &Grid[T]{rows: g.rows, cols: g.cols, layout: g.layout, data: make([]T, len(g.data))}
+	copy(c.data, g.data)
+	return c
+}
+
+// Relayout returns a copy of the grid stored under a different layout.
+// Cell values are preserved; only the flat order changes.
+func (g *Grid[T]) Relayout(layout Layout) *Grid[T] {
+	out := NewGrid[T](g.rows, g.cols, layout)
+	for i := 0; i < g.rows; i++ {
+		for j := 0; j < g.cols; j++ {
+			out.Set(i, j, g.At(i, j))
+		}
+	}
+	return out
+}
+
+// Row returns a freshly allocated copy of row i in column order.
+func (g *Grid[T]) Row(i int) []T {
+	out := make([]T, g.cols)
+	for j := 0; j < g.cols; j++ {
+		out[j] = g.At(i, j)
+	}
+	return out
+}
+
+// Col returns a freshly allocated copy of column j in row order.
+func (g *Grid[T]) Col(j int) []T {
+	out := make([]T, g.rows)
+	for i := 0; i < g.rows; i++ {
+		out[i] = g.At(i, j)
+	}
+	return out
+}
+
+// Equal reports whether two grids have identical dimensions and cell
+// values under eq, regardless of layout.
+func Equal[T any](a, b *Grid[T], eq func(x, y T) bool) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			if !eq(a.At(i, j), b.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualComparable is Equal specialized for comparable cell types.
+func EqualComparable[T comparable](a, b *Grid[T]) bool {
+	return Equal(a, b, func(x, y T) bool { return x == y })
+}

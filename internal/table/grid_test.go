@@ -1,0 +1,146 @@
+package table
+
+import (
+	"testing"
+)
+
+func TestNewGridZeroed(t *testing.T) {
+	g := NewGrid[int](3, 4, nil)
+	if g.Rows() != 3 || g.Cols() != 4 || g.Len() != 12 {
+		t.Fatalf("dims = %dx%d len %d", g.Rows(), g.Cols(), g.Len())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if g.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %d, want 0", i, j, g.At(i, j))
+			}
+		}
+	}
+	if g.Layout().Name() != "row-major" {
+		t.Errorf("default layout = %q, want row-major", g.Layout().Name())
+	}
+}
+
+func TestNewGridPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGrid(%d,%d) should panic", dims[0], dims[1])
+				}
+			}()
+			NewGrid[int](dims[0], dims[1], nil)
+		}()
+	}
+}
+
+func TestGridSetAtRoundTrip(t *testing.T) {
+	layouts := []Layout{RowMajor{}, ColMajor{}, AntiDiagMajor{}, LMajor{}, NewKnightMajor(5, 7)}
+	for _, l := range layouts {
+		g := NewGrid[int](5, 7, l)
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 7; j++ {
+				g.Set(i, j, 100*i+j)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 7; j++ {
+				if got := g.At(i, j); got != 100*i+j {
+					t.Errorf("%s: At(%d,%d) = %d, want %d", l.Name(), i, j, got, 100*i+j)
+				}
+			}
+		}
+	}
+}
+
+func TestGridFill(t *testing.T) {
+	g := NewGrid[int](4, 4, AntiDiagMajor{})
+	g.Fill(func(i, j int) int { return i*10 + j })
+	if g.At(2, 3) != 23 {
+		t.Errorf("Fill: At(2,3) = %d, want 23", g.At(2, 3))
+	}
+	g.Fill(nil)
+	if g.At(2, 3) != 0 {
+		t.Errorf("Fill(nil): At(2,3) = %d, want 0", g.At(2, 3))
+	}
+}
+
+func TestGridCloneIndependent(t *testing.T) {
+	g := NewGrid[int](2, 2, nil)
+	g.Set(0, 0, 9)
+	c := g.Clone()
+	c.Set(0, 0, 5)
+	if g.At(0, 0) != 9 {
+		t.Errorf("Clone aliases original: %d", g.At(0, 0))
+	}
+	if c.At(0, 0) != 5 || c.At(1, 1) != 0 {
+		t.Error("Clone did not copy values")
+	}
+}
+
+func TestGridRelayoutPreservesValues(t *testing.T) {
+	g := NewGrid[int](6, 5, RowMajor{})
+	g.Fill(func(i, j int) int { return i*31 + j*7 })
+	for _, l := range []Layout{ColMajor{}, AntiDiagMajor{}, LMajor{}, NewKnightMajor(6, 5)} {
+		r := g.Relayout(l)
+		if !EqualComparable(g, r) {
+			t.Errorf("Relayout(%s) changed cell values", l.Name())
+		}
+		if r.Layout().Name() != l.Name() {
+			t.Errorf("Relayout(%s) kept old layout", l.Name())
+		}
+	}
+}
+
+func TestGridRowCol(t *testing.T) {
+	g := NewGrid[int](3, 4, LMajor{})
+	g.Fill(func(i, j int) int { return i*4 + j })
+	row := g.Row(1)
+	want := []int{4, 5, 6, 7}
+	for k := range want {
+		if row[k] != want[k] {
+			t.Errorf("Row(1)[%d] = %d, want %d", k, row[k], want[k])
+		}
+	}
+	col := g.Col(2)
+	wantCol := []int{2, 6, 10}
+	for k := range wantCol {
+		if col[k] != wantCol[k] {
+			t.Errorf("Col(2)[%d] = %d, want %d", k, col[k], wantCol[k])
+		}
+	}
+}
+
+func TestGridInBounds(t *testing.T) {
+	g := NewGrid[int](2, 3, nil)
+	cases := []struct {
+		i, j int
+		want bool
+	}{
+		{0, 0, true}, {1, 2, true}, {-1, 0, false}, {0, -1, false},
+		{2, 0, false}, {0, 3, false},
+	}
+	for _, c := range cases {
+		if got := g.InBounds(c.i, c.j); got != c.want {
+			t.Errorf("InBounds(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewGrid[int](2, 2, RowMajor{})
+	b := NewGrid[int](2, 2, ColMajor{})
+	a.Fill(func(i, j int) int { return i + j })
+	b.Fill(func(i, j int) int { return i + j })
+	if !EqualComparable(a, b) {
+		t.Error("grids with equal values under different layouts should be Equal")
+	}
+	b.Set(1, 1, 99)
+	if EqualComparable(a, b) {
+		t.Error("differing grids reported Equal")
+	}
+	c := NewGrid[int](2, 3, nil)
+	if EqualComparable(a, c) {
+		t.Error("different-shape grids reported Equal")
+	}
+}

@@ -1,0 +1,192 @@
+package table
+
+import "fmt"
+
+// Layout maps 2-D cell coordinates to positions in a flat backing array.
+// Implementations are bijections from [0,rows) x [0,cols) onto
+// [0, rows*cols). A layout is chosen so that the cells of one wavefront of
+// the target dependency pattern occupy a contiguous span, which is what
+// makes GPU global-memory accesses coalesced (paper §IV-B).
+type Layout interface {
+	// Index returns the flat position of cell (i, j) in a rows x cols grid.
+	Index(rows, cols, i, j int) int
+	// Name returns a short identifier ("row-major", "antidiag-major", ...).
+	Name() string
+}
+
+// RowMajor stores rows contiguously: the natural layout for the Horizontal
+// pattern, whose wavefronts are rows.
+type RowMajor struct{}
+
+// Index implements Layout.
+func (RowMajor) Index(rows, cols, i, j int) int { return i*cols + j }
+
+// Name implements Layout.
+func (RowMajor) Name() string { return "row-major" }
+
+// ColMajor stores columns contiguously: the natural layout for the Vertical
+// pattern, whose wavefronts are columns.
+type ColMajor struct{}
+
+// Index implements Layout.
+func (ColMajor) Index(rows, cols, i, j int) int { return j*rows + i }
+
+// Name implements Layout.
+func (ColMajor) Name() string { return "col-major" }
+
+// AntiDiagMajor stores anti-diagonals (cells with equal i+j) contiguously,
+// each diagonal ordered by increasing row. This is the coalescing-friendly
+// layout for the Anti-Diagonal pattern.
+type AntiDiagMajor struct{}
+
+// Name implements Layout.
+func (AntiDiagMajor) Name() string { return "antidiag-major" }
+
+// Index implements Layout.
+func (AntiDiagMajor) Index(rows, cols, i, j int) int {
+	d := i + j
+	return antiDiagOffset(rows, cols, d) + (i - maxInt(0, d-(cols-1)))
+}
+
+// antiDiagOffset returns the flat position of the first cell of
+// anti-diagonal d in a rows x cols grid. Derivation: diagonal d holds
+// min(d, rows-1, cols-1, rows+cols-2-d)+1 cells; the cumulative count has a
+// closed form in three regimes (growing, constant-width, shrinking).
+func antiDiagOffset(rows, cols, d int) int {
+	m, bigM := rows, cols
+	if m > bigM {
+		m, bigM = bigM, m
+	}
+	switch {
+	case d < m:
+		return d * (d + 1) / 2
+	case d < bigM:
+		return m*(m-1)/2 + (d-(m-1))*m
+	default:
+		// Count cells in diagonals >= d: they shrink 1 per step down to 1
+		// cell at d = rows+cols-2.
+		remaining := rows + cols - 1 - d
+		suffix := remaining * (remaining + 1) / 2
+		return rows*cols - suffix
+	}
+}
+
+// AntiDiagSpan returns the first row and the cell count of anti-diagonal d.
+func AntiDiagSpan(rows, cols, d int) (firstRow, count int) {
+	firstRow = maxInt(0, d-(cols-1))
+	lastRow := minInt(rows-1, d)
+	if lastRow < firstRow {
+		return firstRow, 0
+	}
+	return firstRow, lastRow - firstRow + 1
+}
+
+// LMajor stores inverted-L wavefronts (cells with equal min(i, j))
+// contiguously: front k is the row segment (k, k..cols-1) followed by the
+// column segment (k+1..rows-1, k). This is the coalescing-friendly layout
+// for the Inverted-L pattern.
+type LMajor struct{}
+
+// Name implements Layout.
+func (LMajor) Name() string { return "l-major" }
+
+// Index implements Layout.
+func (LMajor) Index(rows, cols, i, j int) int {
+	k := minInt(i, j)
+	off := lOffset(rows, cols, k)
+	if i == k {
+		return off + (j - k)
+	}
+	return off + (cols - k) + (i - k - 1)
+}
+
+// lOffset returns the flat position of the first cell of front k. Front e
+// holds (cols-e) + (rows-e-1) cells, so the prefix sum telescopes to
+// k*(rows+cols-1) - k*(k-1).
+func lOffset(rows, cols, k int) int {
+	return k*(rows+cols-1) - k*(k-1)
+}
+
+// LSpan returns the number of cells on inverted-L front k.
+func LSpan(rows, cols, k int) int {
+	if k < 0 || k >= minInt(rows, cols) {
+		return 0
+	}
+	return (cols - k) + (rows - k - 1)
+}
+
+// KnightMajor stores knight-move wavefronts (cells with equal 2i+j)
+// contiguously, each front ordered by increasing row. Unlike the other
+// layouts the prefix sums have no convenient closed form, so a KnightMajor
+// is constructed for specific dimensions with NewKnightMajor.
+type KnightMajor struct {
+	rows, cols int
+	offsets    []int // offsets[t] = flat position of first cell of front t
+}
+
+// NewKnightMajor builds the knight-move layout for a rows x cols grid.
+func NewKnightMajor(rows, cols int) *KnightMajor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("table: invalid knight layout size %dx%d", rows, cols))
+	}
+	fronts := KnightFronts(rows, cols)
+	offsets := make([]int, fronts+1)
+	for t := 0; t < fronts; t++ {
+		_, count := KnightSpan(rows, cols, t)
+		offsets[t+1] = offsets[t] + count
+	}
+	return &KnightMajor{rows: rows, cols: cols, offsets: offsets}
+}
+
+// Name implements Layout.
+func (k *KnightMajor) Name() string { return "knight-major" }
+
+// Index implements Layout.
+func (k *KnightMajor) Index(rows, cols, i, j int) int {
+	if rows != k.rows || cols != k.cols {
+		panic(fmt.Sprintf("table: knight layout built for %dx%d used with %dx%d",
+			k.rows, k.cols, rows, cols))
+	}
+	t := 2*i + j
+	firstRow, _ := KnightSpan(rows, cols, t)
+	return k.offsets[t] + (i - firstRow)
+}
+
+// KnightFronts returns the number of knight-move wavefronts in a rows x
+// cols grid: t = 2i+j ranges over [0, 2(rows-1)+cols-1].
+func KnightFronts(rows, cols int) int { return 2*(rows-1) + cols }
+
+// KnightSpan returns the first row and cell count of knight front t: the
+// cells (i, t-2i) with both coordinates in bounds.
+func KnightSpan(rows, cols, t int) (firstRow, count int) {
+	// Need 0 <= t-2i <= cols-1  =>  (t-cols+1)/2 <= i <= t/2.
+	firstRow = maxInt(0, ceilDivInt(t-(cols-1), 2))
+	lastRow := minInt(rows-1, t/2)
+	if lastRow < firstRow {
+		return firstRow, 0
+	}
+	return firstRow, lastRow - firstRow + 1
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ceilDivInt returns ceil(a/b) for positive b and any a.
+func ceilDivInt(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,253 @@
+package table
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkBijection verifies a layout maps the grid onto [0, rows*cols)
+// exactly once.
+func checkBijection(t *testing.T, l Layout, rows, cols int) {
+	t.Helper()
+	seen := make([]bool, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			idx := l.Index(rows, cols, i, j)
+			if idx < 0 || idx >= rows*cols {
+				t.Fatalf("%s %dx%d: Index(%d,%d) = %d out of range", l.Name(), rows, cols, i, j, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("%s %dx%d: Index(%d,%d) = %d collides", l.Name(), rows, cols, i, j, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestLayoutBijections(t *testing.T) {
+	dims := [][2]int{{1, 1}, {1, 7}, {7, 1}, {3, 3}, {4, 9}, {9, 4}, {16, 16}, {5, 32}}
+	for _, d := range dims {
+		rows, cols := d[0], d[1]
+		layouts := []Layout{RowMajor{}, ColMajor{}, AntiDiagMajor{}, LMajor{}, NewKnightMajor(rows, cols)}
+		for _, l := range layouts {
+			checkBijection(t, l, rows, cols)
+		}
+	}
+}
+
+// Property: bijection holds for arbitrary small dimensions.
+func TestLayoutBijectionProperty(t *testing.T) {
+	f := func(r, c uint8) bool {
+		rows := int(r%20) + 1
+		cols := int(c%20) + 1
+		layouts := []Layout{RowMajor{}, ColMajor{}, AntiDiagMajor{}, LMajor{}, NewKnightMajor(rows, cols)}
+		for _, l := range layouts {
+			seen := make([]bool, rows*cols)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					idx := l.Index(rows, cols, i, j)
+					if idx < 0 || idx >= rows*cols || seen[idx] {
+						return false
+					}
+					seen[idx] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Wavefront contiguity is the whole point of the specialized layouts: the
+// cells of front k must occupy a contiguous ascending span.
+func TestAntiDiagMajorFrontsContiguous(t *testing.T) {
+	rows, cols := 7, 5
+	l := AntiDiagMajor{}
+	next := 0
+	for d := 0; d <= rows+cols-2; d++ {
+		firstRow, count := AntiDiagSpan(rows, cols, d)
+		for k := 0; k < count; k++ {
+			i := firstRow + k
+			j := d - i
+			if got := l.Index(rows, cols, i, j); got != next {
+				t.Fatalf("diag %d cell %d: index %d, want %d", d, k, got, next)
+			}
+			next++
+		}
+	}
+	if next != rows*cols {
+		t.Errorf("covered %d cells, want %d", next, rows*cols)
+	}
+}
+
+func TestLMajorFrontsContiguous(t *testing.T) {
+	rows, cols := 6, 8
+	l := LMajor{}
+	next := 0
+	for k := 0; k < minInt(rows, cols); k++ {
+		// Row segment of the inverted-L.
+		for j := k; j < cols; j++ {
+			if got := l.Index(rows, cols, k, j); got != next {
+				t.Fatalf("front %d row cell j=%d: index %d, want %d", k, j, got, next)
+			}
+			next++
+		}
+		// Column segment.
+		for i := k + 1; i < rows; i++ {
+			if got := l.Index(rows, cols, i, k); got != next {
+				t.Fatalf("front %d col cell i=%d: index %d, want %d", k, i, got, next)
+			}
+			next++
+		}
+	}
+	if next != rows*cols {
+		t.Errorf("covered %d cells, want %d", next, rows*cols)
+	}
+}
+
+func TestKnightMajorFrontsContiguous(t *testing.T) {
+	rows, cols := 5, 9
+	l := NewKnightMajor(rows, cols)
+	next := 0
+	for tt := 0; tt < KnightFronts(rows, cols); tt++ {
+		firstRow, count := KnightSpan(rows, cols, tt)
+		for k := 0; k < count; k++ {
+			i := firstRow + k
+			j := tt - 2*i
+			if got := l.Index(rows, cols, i, j); got != next {
+				t.Fatalf("front %d cell %d: index %d, want %d", tt, k, got, next)
+			}
+			next++
+		}
+	}
+	if next != rows*cols {
+		t.Errorf("covered %d cells, want %d", next, rows*cols)
+	}
+}
+
+func TestAntiDiagSpan(t *testing.T) {
+	// 3x4 grid: diagonals have sizes 1,2,3,3,2,1.
+	wantCounts := []int{1, 2, 3, 3, 2, 1}
+	for d, want := range wantCounts {
+		_, count := AntiDiagSpan(3, 4, d)
+		if count != want {
+			t.Errorf("AntiDiagSpan(3,4,%d) count = %d, want %d", d, count, want)
+		}
+	}
+	if _, count := AntiDiagSpan(3, 4, 99); count != 0 {
+		t.Error("out-of-range diagonal should have count 0")
+	}
+}
+
+func TestLSpan(t *testing.T) {
+	// 4x6: front k holds (6-k)+(4-k-1) cells.
+	want := []int{9, 7, 5, 3}
+	for k, w := range want {
+		if got := LSpan(4, 6, k); got != w {
+			t.Errorf("LSpan(4,6,%d) = %d, want %d", k, got, w)
+		}
+	}
+	if LSpan(4, 6, 4) != 0 || LSpan(4, 6, -1) != 0 {
+		t.Error("out-of-range L front should have count 0")
+	}
+}
+
+func TestKnightSpan(t *testing.T) {
+	// 3x3 grid, fronts t = 2i+j in [0, 6]:
+	// t=0: (0,0); t=1: (0,1); t=2: (0,2),(1,0); t=3: (1,1); t=4: (1,2),(2,0);
+	// t=5: (2,1); t=6: (2,2).
+	wantCounts := []int{1, 1, 2, 1, 2, 1, 1}
+	if got := KnightFronts(3, 3); got != len(wantCounts) {
+		t.Fatalf("KnightFronts(3,3) = %d, want %d", got, len(wantCounts))
+	}
+	total := 0
+	for tt, want := range wantCounts {
+		_, count := KnightSpan(3, 3, tt)
+		if count != want {
+			t.Errorf("KnightSpan(3,3,%d) count = %d, want %d", tt, count, want)
+		}
+		total += count
+	}
+	if total != 9 {
+		t.Errorf("knight fronts cover %d cells, want 9", total)
+	}
+}
+
+// Property: spans partition the grid for every pattern helper.
+func TestSpanPartitionProperty(t *testing.T) {
+	f := func(r, c uint8) bool {
+		rows := int(r%15) + 1
+		cols := int(c%15) + 1
+		total := 0
+		for d := 0; d <= rows+cols-2; d++ {
+			_, n := AntiDiagSpan(rows, cols, d)
+			total += n
+		}
+		if total != rows*cols {
+			return false
+		}
+		total = 0
+		for k := 0; k < minInt(rows, cols); k++ {
+			total += LSpan(rows, cols, k)
+		}
+		if total != rows*cols {
+			return false
+		}
+		total = 0
+		for tt := 0; tt < KnightFronts(rows, cols); tt++ {
+			_, n := KnightSpan(rows, cols, tt)
+			total += n
+		}
+		return total == rows*cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnightMajorDimensionMismatchPanics(t *testing.T) {
+	l := NewKnightMajor(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	l.Index(5, 5, 0, 0)
+}
+
+func TestNewKnightMajorPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKnightMajor(0, 3)
+}
+
+func TestCeilDivInt(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 2, 0}, {1, 2, 1}, {2, 2, 1}, {3, 2, 2}, {-1, 2, 0}, {-3, 2, -1}, {-4, 2, -2},
+	}
+	for _, c := range cases {
+		if got := ceilDivInt(c.a, c.b); got != c.want {
+			t.Errorf("ceilDivInt(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLayoutNames(t *testing.T) {
+	names := map[string]Layout{
+		"row-major":      RowMajor{},
+		"col-major":      ColMajor{},
+		"antidiag-major": AntiDiagMajor{},
+		"l-major":        LMajor{},
+		"knight-major":   NewKnightMajor(2, 2),
+	}
+	for want, l := range names {
+		if l.Name() != want {
+			t.Errorf("Name() = %q, want %q", l.Name(), want)
+		}
+	}
+}

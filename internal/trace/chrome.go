@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/hetsim"
+)
+
+// chromeEvent is one complete event ("ph":"X") of the Chrome trace-event
+// format, loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the timeline in the Chrome trace-event JSON
+// format: one track (tid) per resource, op kinds as categories, cells and
+// bytes as event args. Load the output in chrome://tracing or Perfetto to
+// inspect the simulated schedule visually.
+func WriteChromeTrace(w io.Writer, t hetsim.Timeline) error {
+	events := make([]chromeEvent, 0, len(t.Records))
+	for _, r := range t.Records {
+		args := map[string]string{}
+		if r.Cells > 0 {
+			args["cells"] = itoa(r.Cells)
+		}
+		if r.Bytes > 0 {
+			args["bytes"] = itoa(r.Bytes)
+		}
+		events = append(events, chromeEvent{
+			Name: r.Label,
+			Cat:  r.Kind.String(),
+			Ph:   "X",
+			TS:   float64(r.Start) / 1e3,
+			Dur:  float64(r.End-r.Start) / 1e3,
+			PID:  1,
+			TID:  int(r.Resource),
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ns",
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

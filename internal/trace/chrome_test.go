@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, sampleTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	first := doc.TraceEvents[0]
+	if first.Name != "cpu:p1" || first.Ph != "X" || first.Cat != "compute" {
+		t.Errorf("first event = %+v", first)
+	}
+	if first.Dur != 10 { // 10us
+		t.Errorf("first event dur = %v us, want 10", first.Dur)
+	}
+	if first.Args["cells"] != "50" {
+		t.Errorf("first event cells arg = %q", first.Args["cells"])
+	}
+	// Distinct resources map to distinct tracks.
+	tids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		tids[e.TID] = true
+	}
+	if len(tids) != 3 {
+		t.Errorf("events on %d tracks, want 3", len(tids))
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 5: "5", 123: "123", -42: "-42", 100000: "100000"}
+	for n, want := range cases {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestWriteHTMLGantt(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteHTMLGantt(&sb, sampleTimeline(), "demo <run>"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<!DOCTYPE html>", "demo &lt;run&gt;", "<svg", "cpu:p1", "#ee854a", "</html>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML output missing %q", want)
+		}
+	}
+	// One rect per op.
+	if got := strings.Count(out, "<rect"); got != 3 {
+		t.Errorf("rect count = %d, want 3", got)
+	}
+}

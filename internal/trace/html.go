@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+	"html"
+	"io"
+
+	"repro/internal/hetsim"
+)
+
+// WriteHTMLGantt writes a self-contained HTML page with an SVG Gantt chart
+// of the timeline: one lane per resource, compute ops in blue shades,
+// transfers in orange, with hover tooltips carrying label, span, cells and
+// bytes. No external assets; open the file in any browser.
+func WriteHTMLGantt(w io.Writer, t hetsim.Timeline, title string) error {
+	makespan := t.Makespan()
+	resources := t.Resources()
+	const (
+		width      = 1000
+		laneHeight = 28
+		leftMargin = 90
+		topMargin  = 30
+	)
+	height := topMargin + laneHeight*len(resources) + 40
+
+	lane := map[hetsim.Resource]int{}
+	for i, r := range resources {
+		lane[r] = i
+	}
+	scale := 0.0
+	if makespan > 0 {
+		scale = float64(width-leftMargin-10) / float64(makespan)
+	}
+
+	if _, err := fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s</title>
+<style>body{font:13px sans-serif;margin:16px}rect:hover{opacity:.7}</style>
+</head><body>
+<h1>%s</h1>
+<p>makespan %s, %d operations</p>
+<svg width="%d" height="%d" xmlns="http://www.w3.org/2000/svg">
+`, html.EscapeString(title), html.EscapeString(title),
+		formatDuration(makespan), len(t.Records), width, height); err != nil {
+		return err
+	}
+
+	for i, r := range resources {
+		y := topMargin + i*laneHeight
+		fmt.Fprintf(w, `<text x="4" y="%d">%s</text>`+"\n", y+laneHeight-10, html.EscapeString(t.NameOf(r)))
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			leftMargin, y+laneHeight-4, width-10, y+laneHeight-4)
+	}
+	for _, rec := range t.Records {
+		x := leftMargin + int(float64(rec.Start)*scale)
+		wpx := int(float64(rec.Duration()) * scale)
+		if wpx < 1 {
+			wpx = 1
+		}
+		y := topMargin + lane[rec.Resource]*laneHeight
+		color := "#4878d0"
+		if rec.Kind == hetsim.OpTransfer {
+			color = "#ee854a"
+		}
+		fmt.Fprintf(w,
+			`<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s [%s .. %s] cells=%d bytes=%d</title></rect>`+"\n",
+			x, y, wpx, laneHeight-8, color,
+			html.EscapeString(rec.Label), formatDuration(rec.Start), formatDuration(rec.End),
+			rec.Cells, rec.Bytes)
+	}
+	_, err := fmt.Fprint(w, "</svg></body></html>\n")
+	return err
+}
