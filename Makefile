@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments figures quick cover clean
+.PHONY: all build test vet check race bench bench-all experiments figures quick cover clean
 
 all: build vet test
 
@@ -15,9 +15,23 @@ vet:
 test:
 	$(GO) test ./...
 
+# The per-PR gate: build, vet (the concurrency code leans on it), tests.
+check: build vet test
+
+# Race-detector pass over the whole module; the pool runtime tests in
+# internal/core are written to stress the barrier and band handoff paths.
+race:
+	$(GO) test -race ./...
+
+# Native pool runtime benchmarks vs the spawn baseline, archived as
+# BENCH_native.json (real wall-clock numbers — machine-dependent).
+bench:
+	$(GO) test -run '^$$' -bench=NativePool -benchmem -cpu 4 -benchtime 3x . | tee bench_output.txt
+	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_native.json
+
 # Full benchmark pass: one testing.B benchmark per paper table/figure plus
 # the ablations, extensions and micro-benchmarks.
-bench:
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table of the evaluation into results/.

@@ -248,3 +248,64 @@ func BenchmarkExtModern(b *testing.B) { benchExperiment(b, "ext-modern") }
 
 // Extension: critical-path attribution.
 func BenchmarkExtBottleneck(b *testing.B) { benchExperiment(b, "ext-bottleneck") }
+
+// Native pool runtime family (-bench=NativePool): the persistent
+// worker-pool wavefront executor against the seed spawn-per-front
+// baseline. Run with -benchmem: the Sim alloc counts are part of the
+// recorded evidence (BENCH_native.json).
+
+// Seed baseline: fresh goroutines + WaitGroup barrier per front.
+func BenchmarkNativePoolSpawnLevenshtein4k(b *testing.B) {
+	p := experiments.Fig10Problem(1, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveParallelSpawn(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Pool runtime at the default configuration on the same workload.
+func BenchmarkNativePoolLevenshtein4k(b *testing.B) {
+	p := experiments.Fig10Problem(1, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveParallel(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Horizontal pattern: global epoch barrier vs row-band lookahead handoff.
+func BenchmarkNativePoolCheckerboard2k(b *testing.B) {
+	p := experiments.Fig13Problem(1, 2048)
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"barrier", core.Options{NativeNoLookahead: true}},
+		{"lookahead", core.Options{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveParallelOpt(p, mode.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Simulated hetero path at 4k: the lazy-label fix means the per-op
+// fmt.Sprintf and dep-slice allocations are gone; allocs/op here is the
+// headline number for that satellite.
+func BenchmarkNativePoolSimPath4k(b *testing.B) {
+	p := experiments.Fig10Problem(1, 4096)
+	opts := core.Options{TSwitch: -1, TShare: -1, SkipCompute: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveHetero(p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

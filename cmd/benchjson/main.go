@@ -1,0 +1,93 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into the JSON record committed as BENCH_native.json. It keeps only the
+// benchmark result lines plus the goos/goarch/cpu header, so a reference
+// run can be diffed and archived without the test-runner chatter.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type report struct {
+	Description string   `json:"description"`
+	Goos        string   `json:"goos,omitempty"`
+	Goarch      string   `json:"goarch,omitempty"`
+	CPU         string   `json:"cpu,omitempty"`
+	Benchmarks  []result `json:"benchmarks"`
+}
+
+func main() {
+	rep := report{
+		Description: "Reference benchmark run; real wall-clock numbers from one machine. Regenerate with `make bench`.",
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one `BenchmarkName-P  N  X ns/op  [Y B/op  Z allocs/op]`
+// result line. Unknown units are ignored so custom ReportMetric columns
+// pass through harmlessly.
+func parseLine(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: f[0], Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return r, r.NsPerOp > 0
+}

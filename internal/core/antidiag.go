@@ -33,7 +33,7 @@ func runAntiDiagonal[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 1: CPU only.
 	for t := 0; t < p2Start; t++ {
-		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "p1", lastCPU)
+		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "cpu:p1", lastCPU)
 	}
 
 	// Phase 1 -> 2 synchronization: the GPU's first kernels read cells of
@@ -63,17 +63,20 @@ func runAntiDiagonal[T any](e *heteroExec[T], tSwitch, tShare int) {
 		gpuCount := size - cpuCount
 
 		if cpuCount > 0 {
-			lastCPU = e.cpuOp(t, 0, cpuCount, "p2", lastCPU)
+			lastCPU = e.cpuOp(t, 0, cpuCount, "cpu:p2", lastCPU)
 		}
 		if gpuCount > 0 {
-			deps := []hetsim.OpID{lastGPU, upload, syncUp}
+			// Fixed-arity deps (NoOp entries are skipped by the simulator)
+			// keep the slice on the stack: an append past the literal's
+			// capacity here would heap-allocate once per front.
+			b1, b2 := hetsim.NoOp, hetsim.NoOp
 			if t-1 >= 0 {
-				deps = append(deps, h2d[t-1])
+				b1 = h2d[t-1]
 			}
 			if t-2 >= 0 {
-				deps = append(deps, h2d[t-2])
+				b2 = h2d[t-2]
 			}
-			lastGPU = e.gpuOp(t, cpuCount, size, "p2", deps...)
+			lastGPU = e.gpuOp(t, cpuCount, size, "gpu:p2", lastGPU, upload, syncUp, b1, b2)
 		}
 		if cpuCount > 0 && gpuCount > 0 {
 			// One boundary cell (row tShare-1) feeds the GPU's W/NW/N reads
@@ -100,7 +103,7 @@ func runAntiDiagonal[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 3: CPU only.
 	for t := p3Start; t < fronts; t++ {
-		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "p3", lastCPU, syncDown)
+		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "cpu:p3", lastCPU, syncDown)
 	}
 
 	// Result extraction: with a CPU tail phase the answer is already on the

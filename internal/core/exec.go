@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/hetsim"
 	"repro/internal/table"
 )
@@ -54,8 +52,11 @@ func (e *heteroExec[T]) compute(t, lo, hi int) {
 }
 
 // cpuOp computes cells [lo, hi) of front t and submits the corresponding
-// CPU parallel region.
-func (e *heteroExec[T]) cpuOp(t, lo, hi int, phase string, deps ...hetsim.OpID) hetsim.OpID {
+// CPU parallel region. label is the static phase label ("cpu:p1", ...);
+// the front index is carried as a tag and only rendered into the label by
+// trace sinks (OpRecord.FullLabel), so the per-front hot path submits ops
+// without any string formatting or allocation.
+func (e *heteroExec[T]) cpuOp(t, lo, hi int, label string, deps ...hetsim.OpID) hetsim.OpID {
 	if hi <= lo {
 		return hetsim.NoOp
 	}
@@ -66,31 +67,32 @@ func (e *heteroExec[T]) cpuOp(t, lo, hi int, phase string, deps ...hetsim.OpID) 
 	if e.opts.CPUThreadPerCell {
 		dur = cpu.ThreadPerCellDuration(cells, e.coalesced)
 	}
-	return e.sim.Submit(hetsim.Op{
+	return e.sim.SubmitFront(hetsim.Op{
 		Resource: hetsim.ResCPU,
 		Kind:     hetsim.OpCompute,
 		Duration: dur,
-		Label:    fmt.Sprintf("cpu:%s:t=%d", phase, t),
+		Label:    label,
 		Cells:    cells,
-	}, deps...)
+	}, t, deps...)
 }
 
 // gpuOp computes cells [lo, hi) of front t and submits the corresponding
-// kernel launch.
-func (e *heteroExec[T]) gpuOp(t, lo, hi int, phase string, deps ...hetsim.OpID) hetsim.OpID {
+// kernel launch. label is the static phase label ("gpu:p2", ...); see cpuOp
+// for the lazy front tagging.
+func (e *heteroExec[T]) gpuOp(t, lo, hi int, label string, deps ...hetsim.OpID) hetsim.OpID {
 	if hi <= lo {
 		return hetsim.NoOp
 	}
 	e.compute(t, lo, hi)
 	cells := hi - lo
 	dur := e.opts.Platform.GPU.KernelDuration(cells, e.coalesced)
-	return e.sim.Submit(hetsim.Op{
+	return e.sim.SubmitFront(hetsim.Op{
 		Resource: hetsim.ResGPU,
 		Kind:     hetsim.OpCompute,
 		Duration: dur,
-		Label:    fmt.Sprintf("gpu:%s:t=%d", phase, t),
+		Label:    label,
 		Cells:    cells,
-	}, deps...)
+	}, t, deps...)
 }
 
 // transferResource selects the queue a boundary transfer runs on: a DMA

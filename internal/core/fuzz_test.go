@@ -53,3 +53,38 @@ func FuzzHeteroEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPoolEquivalence drives the pool runtime — flat kernels, dynamic
+// chunking, epoch barrier, band lookahead, symmetry adapters — with
+// arbitrary masks, grid shapes (including the 1xN, Nx1 and 2x2
+// degenerates), worker counts and chunk sizes, and checks cell-for-cell
+// equality with the sequential reference.
+func FuzzPoolEquivalence(f *testing.F) {
+	f.Add(uint8(3), uint8(9), uint8(9), uint8(4), uint8(8), false)
+	f.Add(uint8(6), uint8(1), uint8(64), uint8(3), uint8(1), true)   // 1xN row
+	f.Add(uint8(12), uint8(64), uint8(1), uint8(2), uint8(0), false) // Nx1 column
+	f.Add(uint8(9), uint8(2), uint8(2), uint8(7), uint8(255), false) // 2x2 minimal
+	f.Fuzz(func(t *testing.T, mi, r, c, workers, chunk uint8, noLookahead bool) {
+		masks := AllDepMasks()
+		m := masks[int(mi)%len(masks)]
+		rows := int(r%64) + 1
+		cols := int(c%64) + 1
+		p := testProblem(m, rows, cols)
+		want, err := Solve(p)
+		if err != nil {
+			t.Skip()
+		}
+		got, err := SolveParallelOpt(p, Options{
+			NativeWorkers:     int(workers % 9),
+			NativeChunk:       int(chunk),
+			NativeNoLookahead: noLookahead,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.EqualComparable(want, got) {
+			t.Fatalf("mask %s %dx%d workers=%d chunk=%d nolook=%v: pool differs",
+				m, rows, cols, workers%9, chunk, noLookahead)
+		}
+	})
+}

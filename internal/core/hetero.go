@@ -101,13 +101,13 @@ func runDeviceOnly[T any](e *heteroExec[T], dev hetsim.Resource) {
 	if dev == hetsim.ResGPU {
 		upload := e.uploadInput()
 		for t := 0; t < e.w.Fronts; t++ {
-			last = e.gpuOp(t, 0, e.w.Size(t), "only", last, upload)
+			last = e.gpuOp(t, 0, e.w.Size(t), "gpu:only", last, upload)
 		}
 		e.extract(e.w.Size(e.w.Fronts-1), last)
 		return
 	}
 	for t := 0; t < e.w.Fronts; t++ {
-		last = e.cpuOp(t, 0, e.w.Size(t), "only", last)
+		last = e.cpuOp(t, 0, e.w.Size(t), "cpu:only", last)
 	}
 }
 

@@ -36,10 +36,10 @@ func runHorizontal[T any](e *heteroExec[T], tShare int) {
 
 	for t := 0; t < fronts; t++ {
 		if cpuCount > 0 {
-			lastCPU = e.cpuOp(t, 0, cpuCount, "p1", lastCPU, prevD2H)
+			lastCPU = e.cpuOp(t, 0, cpuCount, "cpu:p1", lastCPU, prevD2H)
 		}
 		if gpuCount > 0 {
-			lastGPU = e.gpuOp(t, cpuCount, cols, "p1", lastGPU, upload, prevH2D)
+			lastGPU = e.gpuOp(t, cpuCount, cols, "gpu:p1", lastGPU, upload, prevH2D)
 		}
 		if cpuCount > 0 && gpuCount > 0 {
 			if needH2D {

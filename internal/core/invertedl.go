@@ -41,10 +41,10 @@ func runInvertedL[T any](e *heteroExec[T], tSwitch, tShare int) {
 		gpuCount := size - cpuCount
 
 		if cpuCount > 0 {
-			lastCPU = e.cpuOp(t, 0, cpuCount, "p1", lastCPU)
+			lastCPU = e.cpuOp(t, 0, cpuCount, "cpu:p1", lastCPU)
 		}
 		if gpuCount > 0 {
-			lastGPU = e.gpuOp(t, cpuCount, size, "p1", lastGPU, upload, prevH2D)
+			lastGPU = e.gpuOp(t, cpuCount, size, "gpu:p1", lastGPU, upload, prevH2D)
 			lastGPUCells = gpuCount
 		}
 		if cpuCount > 0 && gpuCount > 0 {
@@ -61,7 +61,7 @@ func runInvertedL[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 2: CPU only over the shrinking tail.
 	for t := p2Start; t < fronts; t++ {
-		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "p2", lastCPU, syncDown)
+		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "cpu:p2", lastCPU, syncDown)
 	}
 
 	if tSwitch == 0 && lastGPU != hetsim.NoOp {

@@ -54,7 +54,7 @@ func runKnightMove[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 1: CPU only.
 	for t := 0; t < p2Start; t++ {
-		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "p1", lastCPU)
+		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "cpu:p1", lastCPU)
 	}
 
 	// Phase 1 -> 2 synchronization: knight dependencies reach back three
@@ -76,21 +76,24 @@ func runKnightMove[T any](e *heteroExec[T], tSwitch, tShare int) {
 		gpuCount, cpuCount := split(t)
 
 		if gpuCount > 0 {
-			deps := []hetsim.OpID{lastGPU, upload, syncUp}
+			// Fixed-arity deps (NoOp ignored) keep the slice stack-allocated;
+			// appending past a literal's capacity costs one heap allocation
+			// per front.
+			b1, b3 := hetsim.NoOp, hetsim.NoOp
 			if t-1 >= 0 {
-				deps = append(deps, h2d[t-1])
+				b1 = h2d[t-1]
 			}
 			if t-3 >= 0 {
-				deps = append(deps, h2d[t-3])
+				b3 = h2d[t-3]
 			}
-			lastGPU = e.gpuOp(t, 0, gpuCount, "p2", deps...)
+			lastGPU = e.gpuOp(t, 0, gpuCount, "gpu:p2", lastGPU, upload, syncUp, b1, b3)
 		}
 		if cpuCount > 0 {
-			deps := []hetsim.OpID{lastCPU}
+			down := hetsim.NoOp
 			if t-1 >= 0 {
-				deps = append(deps, d2h[t-1])
+				down = d2h[t-1]
 			}
-			lastCPU = e.cpuOp(t, gpuCount, size, "p2", deps...)
+			lastCPU = e.cpuOp(t, gpuCount, size, "cpu:p2", lastCPU, down)
 		}
 		if cpuCount > 0 && gpuCount > 0 {
 			h2d[t] = e.boundary(hetsim.ResCopyH2D, 1, "h2d:boundary", lastCPU)
@@ -114,7 +117,7 @@ func runKnightMove[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 3: CPU only.
 	for t := p3Start; t < fronts; t++ {
-		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "p3", lastCPU, syncDown)
+		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "cpu:p3", lastCPU, syncDown)
 	}
 
 	if tSwitch == 0 && lastGPU != hetsim.NoOp {

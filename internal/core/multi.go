@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/hetsim"
@@ -195,23 +196,37 @@ func runHorizontalMulti[T any](e *heteroExec[T], accels []Accelerator, shares []
 		leftXfer[d] = hetsim.NoOp
 	}
 
+	// Per-device static labels, built once; the row index rides along as
+	// the SubmitFront tag so the per-row loop formats no strings.
+	kernelLabel := make([]string, nDev)
+	xferRightLabel := make([]string, nDev)
+	xferLeftLabel := make([]string, nDev)
+	for d := 1; d < nDev; d++ {
+		kernelLabel[d] = accels[d-1].Name + ":p1"
+	}
+	for d := 0; d < nDev; d++ {
+		ds := strconv.Itoa(d)
+		xferRightLabel[d] = "xfer:right:d" + ds
+		xferLeftLabel[d] = "xfer:left:d" + ds
+	}
+
 	computeOp := func(d, row int, deps ...hetsim.OpID) hetsim.OpID {
 		lo, hi := starts[d], starts[d+1]
 		if hi <= lo {
 			return hetsim.NoOp
 		}
 		if d == 0 {
-			return e.cpuOp(row, lo, hi, "p1", deps...)
+			return e.cpuOp(row, lo, hi, "cpu:p1", deps...)
 		}
 		e.compute(row, lo, hi)
 		dur := accels[d-1].Model.KernelDuration(hi-lo, e.coalesced)
-		return e.sim.Submit(hetsim.Op{
+		return e.sim.SubmitFront(hetsim.Op{
 			Resource: queues[d],
 			Kind:     hetsim.OpCompute,
 			Duration: dur,
-			Label:    fmt.Sprintf("%s:p1:t=%d", accels[d-1].Name, row),
+			Label:    kernelLabel[d],
 			Cells:    hi - lo,
-		}, deps...)
+		}, row, deps...)
 	}
 
 	// xferBetween ships one boundary cell from device a to device b and
@@ -230,22 +245,23 @@ func runHorizontalMulti[T any](e *heteroExec[T], accels []Accelerator, shares []
 		return e.boundary(hetsim.ResCopyH2D, 1, label+":h2d", down)
 	}
 
+	newRight := make([]hetsim.OpID, nDev)
+	newLeft := make([]hetsim.OpID, nDev)
+	ops := make([]hetsim.OpID, nDev)
 	for row := 0; row < e.w.Fronts; row++ {
-		newRight := make([]hetsim.OpID, nDev)
-		newLeft := make([]hetsim.OpID, nDev)
 		for d := 0; d < nDev; d++ {
 			newRight[d], newLeft[d] = hetsim.NoOp, hetsim.NoOp
 		}
-		ops := make([]hetsim.OpID, nDev)
 		for d := 0; d < nDev; d++ {
-			deps := []hetsim.OpID{last[d], uploads[d]}
+			// Fixed-arity deps (NoOp ignored) avoid a per-device append.
+			fromLeft, fromRight := hetsim.NoOp, hetsim.NoOp
 			if needRight && d > 0 {
-				deps = append(deps, rightXfer[d-1])
+				fromLeft = rightXfer[d-1]
 			}
 			if needLeft && d < nDev-1 {
-				deps = append(deps, leftXfer[d+1])
+				fromRight = leftXfer[d+1]
 			}
-			ops[d] = computeOp(d, row, deps...)
+			ops[d] = computeOp(d, row, last[d], uploads[d], fromLeft, fromRight)
 			if ops[d] != hetsim.NoOp {
 				last[d] = ops[d]
 			}
@@ -256,10 +272,10 @@ func runHorizontalMulti[T any](e *heteroExec[T], accels []Accelerator, shares []
 				continue
 			}
 			if needRight && d < nDev-1 && shares[d] > 0 && shares[d+1] > 0 {
-				newRight[d] = xferBetween(d, d+1, ops[d], fmt.Sprintf("xfer:right:d%d", d))
+				newRight[d] = xferBetween(d, d+1, ops[d], xferRightLabel[d])
 			}
 			if needLeft && d > 0 && shares[d] > 0 && shares[d-1] > 0 {
-				newLeft[d] = xferBetween(d, d-1, ops[d], fmt.Sprintf("xfer:left:d%d", d))
+				newLeft[d] = xferBetween(d, d-1, ops[d], xferLeftLabel[d])
 			}
 		}
 		copy(rightXfer, newRight)

@@ -9,12 +9,36 @@ import (
 
 // SolveParallel fills the DP table using real goroutines on the host: the
 // problem is symmetry-reduced to its canonical pattern and each wavefront
-// is split across workers, with a barrier between fronts. This is the
-// framework's native multicore executor — it produces the same values as
-// Solve and is what the examples use to solve problems for real.
+// is split across workers. This is the framework's native multicore
+// executor — it produces the same values as Solve and is what the examples
+// use to solve problems for real.
+//
+// Execution runs on the persistent worker-pool runtime of pool.go:
+// workers start once per solve, pull dynamic chunks off each front, and
+// cross fronts through a reusable epoch barrier (or, for
+// Horizontal-pattern problems, per-row neighbour handoff). See
+// SolveParallelOpt for the tuning knobs.
 //
 // workers <= 0 selects runtime.GOMAXPROCS(0).
 func SolveParallel[T any](p *Problem[T], workers int) (*table.Grid[T], error) {
+	return solveParallelPool(p, Options{NativeWorkers: workers})
+}
+
+// SolveParallelOpt is SolveParallel with the native-runtime knobs of
+// Options exposed: NativeWorkers, NativeChunk, and NativeNoLookahead. All
+// other Options fields are ignored — the native executor computes real
+// values on the host and involves no simulated platform.
+func SolveParallelOpt[T any](p *Problem[T], opts Options) (*table.Grid[T], error) {
+	return solveParallelPool(p, opts)
+}
+
+// SolveParallelSpawn is the pre-pool native executor, kept as the
+// measurement baseline for the pool runtime (ablation-native-pool): it
+// spawns fresh goroutines for every front and joins them with a WaitGroup
+// barrier, paying one spawn/barrier cycle per wavefront.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func SolveParallelSpawn[T any](p *Problem[T], workers int) (*table.Grid[T], error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

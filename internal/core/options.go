@@ -53,6 +53,23 @@ type Options struct {
 	// recurrence; Result.Grid is nil. The autotuner uses this to sweep
 	// parameters quickly.
 	SkipCompute bool
+
+	// NativeWorkers is the worker count of the native pool runtime
+	// (SolveParallel / SolveParallelOpt). Zero or negative selects
+	// runtime.GOMAXPROCS(0).
+	NativeWorkers int
+
+	// NativeChunk is the number of cells a pool worker claims per atomic
+	// cursor bump; it doubles as the serial cutoff below which a front runs
+	// inline on the advancing worker. Zero or negative selects the default
+	// (512). Smaller chunks balance ragged fronts better; larger chunks
+	// amortize the cursor traffic.
+	NativeChunk int
+
+	// NativeNoLookahead disables the row-band lookahead mode for
+	// Horizontal-pattern problems, forcing the global epoch barrier between
+	// rows. The ablation knob for the barrier-vs-handoff comparison.
+	NativeNoLookahead bool
 }
 
 // withDefaults resolves nil/auto fields against a problem's executed

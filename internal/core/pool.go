@@ -1,0 +1,438 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/table"
+)
+
+// Persistent worker-pool wavefront runtime.
+//
+// The seed SolveParallel spawned fresh goroutines and took a full
+// sync.WaitGroup barrier on every wavefront: for an 8k x 8k anti-diagonal
+// problem that is ~16k spawn/barrier cycles, exactly the dispatch-overhead
+// regime the paper's t_switch analysis warns about on the GPU side. This
+// file replaces it with a pool that is started once per solve:
+//
+//   - workers pull chunks off the current front through an atomic cursor
+//     (dynamic chunking), so ragged fronts from the Inverted-L and
+//     Knight-Move patterns balance automatically;
+//   - fronts are separated by a reusable epoch barrier — the last worker
+//     to arrive advances the front state and releases the others by
+//     closing a gate channel (channel close gives the happens-before edge
+//     that publishes the new front state);
+//   - runs of fronts at or below one chunk are executed inline by the
+//     advancing worker without waking anyone: the low-work triangles at
+//     the start and end of grow-shrink patterns degenerate to pure serial
+//     execution with zero synchronization, the native analogue of the
+//     paper's t_switch low-work regions;
+//   - Horizontal-pattern problems (constant-width fronts, no W
+//     dependency) can skip the global barrier entirely: each worker owns
+//     a column band and hands an epoch token to its neighbours after each
+//     row, so synchronization is O(1) point-to-point waits per row — the
+//     native analogue of the paper's pipelined one-way transfers
+//     (runBands).
+
+// defaultNativeChunk is the number of cells a worker claims per cursor
+// bump. It doubles as the serial cutoff: fronts that fit in one chunk run
+// inline on the advancing worker.
+const defaultNativeChunk = 512
+
+// workerPool is the reusable barrier state shared by the pool workers.
+// Front-describing fields (front, size) are written only by the advancing
+// worker between epochs and published to the others by the gate close.
+type workerPool struct {
+	workers int
+	chunk   int64
+	fronts  int
+	sizeOf  func(t int) int
+	run     func(t, lo, hi int)
+
+	front int   // current front index
+	size  int64 // current front size
+
+	cursor    atomic.Int64  // next unclaimed cell of the current front
+	remaining atomic.Int64  // workers still computing the current front
+	gate      chan struct{} // closed to release parked workers into the next epoch
+	stop      bool          // set by the advancer before the final gate close
+}
+
+// runWavefronts executes fronts [0, fronts) of a wavefront space on a
+// persistent pool: size(t) is the cell count of front t and run(t, lo, hi)
+// computes its cells [lo, hi). run must be safe for concurrent calls on
+// disjoint ranges of one front. workers <= 1 degenerates to a serial sweep
+// with no goroutines; chunk <= 0 selects defaultNativeChunk.
+func runWavefronts(workers, chunk, fronts int, size func(t int) int, run func(t, lo, hi int)) {
+	if fronts <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = defaultNativeChunk
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// A front is worth parallelizing only when it exceeds one chunk, so a
+	// problem whose widest front fits in a chunk never starts a worker.
+	t := 0
+	for ; t < fronts; t++ {
+		s := size(t)
+		if workers > 1 && s > chunk {
+			break
+		}
+		run(t, 0, s)
+	}
+	if t == fronts {
+		return
+	}
+
+	p := &workerPool{
+		workers: workers,
+		chunk:   int64(chunk),
+		fronts:  fronts,
+		sizeOf:  size,
+		run:     run,
+		front:   t,
+		size:    int64(size(t)),
+		gate:    make(chan struct{}),
+	}
+	p.remaining.Store(int64(workers))
+
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for i := 1; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			p.work()
+		}()
+	}
+	p.work() // the caller participates as worker 0
+	wg.Wait()
+}
+
+// work is the pool worker loop: claim chunks, arrive at the barrier, and
+// either advance the epoch (last arriver) or park on the gate.
+func (p *workerPool) work() {
+	for {
+		// Claim chunks of the current front until the cursor runs past its
+		// size. Add returns the cursor after the bump, so lo is the start
+		// of the span this worker just claimed.
+		size := p.size
+		for {
+			lo := p.cursor.Add(p.chunk) - p.chunk
+			if lo >= size {
+				break
+			}
+			hi := lo + p.chunk
+			if hi > size {
+				hi = size
+			}
+			p.run(p.front, int(lo), int(hi))
+		}
+
+		// Capture the gate before announcing arrival: once remaining hits
+		// zero the advancer may swap p.gate for the next epoch, and a
+		// worker that loaded the new gate would park for a close that
+		// already happened.
+		gate := p.gate
+		if p.remaining.Add(-1) > 0 {
+			<-gate
+			if p.stop {
+				return
+			}
+			continue
+		}
+
+		// Last arriver: advance. Fronts at or below one chunk are executed
+		// inline here — the others are parked, so no synchronization is
+		// needed — until a front wide enough to share shows up.
+		t := p.front + 1
+		for ; t < p.fronts; t++ {
+			s := p.sizeOf(t)
+			if s > int(p.chunk) {
+				break
+			}
+			p.run(t, 0, s)
+		}
+		if t == p.fronts {
+			p.stop = true
+			close(gate)
+			return
+		}
+		p.front = t
+		p.size = int64(p.sizeOf(t))
+		p.cursor.Store(0)
+		p.remaining.Store(int64(p.workers))
+		p.gate = make(chan struct{})
+		close(gate) // publishes every write above to the woken workers
+	}
+}
+
+// runBands executes a Horizontal-pattern space (rows fronts of constant
+// width cols) without any global barrier: worker w owns the column band
+// [bandStart(w), bandStart(w+1)) and sweeps it top to bottom, synchronizing
+// only with its immediate neighbours. After finishing a row, a worker
+// deposits a token for its right neighbour (when needLeft: the neighbour's
+// NW reads cross the shared boundary) and its left neighbour (when
+// needRight: NE reads); before starting row t > 0 it consumes one token
+// from each side it depends on, which guarantees the neighbour has finished
+// row t-1. Token channels are buffered to rows so producers never block;
+// channel communication provides the happens-before edges for the boundary
+// cells. With neither flag set ({N}-only problems) workers run completely
+// independently.
+func runBands(workers, rows, cols int, needLeft, needRight bool, run func(t, lo, hi int)) {
+	if workers > cols {
+		workers = cols
+	}
+	if workers <= 1 {
+		for t := 0; t < rows; t++ {
+			run(t, 0, cols)
+		}
+		return
+	}
+	// fromLeft[w] carries tokens from worker w-1 to w; fromRight[w] from
+	// w+1 to w. Only the channels a worker will consume are allocated.
+	fromLeft := make([]chan struct{}, workers)
+	fromRight := make([]chan struct{}, workers)
+	for w := 1; w < workers; w++ {
+		if needLeft {
+			fromLeft[w] = make(chan struct{}, rows)
+		}
+		if needRight {
+			fromRight[w-1] = make(chan struct{}, rows)
+		}
+	}
+	bandStart := func(w int) int { return w * cols / workers }
+
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			bandWork(w, workers, rows, bandStart(w), bandStart(w+1), needLeft, needRight, fromLeft, fromRight, run)
+		}(w)
+	}
+	bandWork(0, workers, rows, bandStart(0), bandStart(1), needLeft, needRight, fromLeft, fromRight, run)
+	wg.Wait()
+}
+
+// bandWork sweeps one worker's column band down all rows, exchanging epoch
+// tokens with its neighbours.
+func bandWork(w, workers, rows, lo, hi int, needLeft, needRight bool, fromLeft, fromRight []chan struct{}, run func(t, lo, hi int)) {
+	waitLeft := needLeft && w > 0
+	waitRight := needRight && w < workers-1
+	sendRight := needLeft && w < workers-1
+	sendLeft := needRight && w > 0
+	for t := 0; t < rows; t++ {
+		if t > 0 {
+			// One token per row: t tokens consumed means the neighbour has
+			// finished rows [0, t), covering every NW/NE read of row t.
+			if waitLeft {
+				<-fromLeft[w]
+			}
+			if waitRight {
+				<-fromRight[w]
+			}
+		}
+		run(t, lo, hi)
+		if sendRight {
+			fromLeft[w+1] <- struct{}{}
+		}
+		if sendLeft {
+			fromRight[w-1] <- struct{}{}
+		}
+	}
+}
+
+// flatKernel evaluates cells straight on a row-major backing slice. The
+// generic gatherNeighbors path costs four non-inlined shape-generic calls
+// per cell; here the neighbour loads are written out by hand against the
+// flat slice, with the contributing-set flags hoisted out of the Deps mask
+// and an interior fast path that skips the per-neighbour bounds checks.
+type flatKernel[T any] struct {
+	data                     []T
+	rows, cols               int
+	p                        *Problem[T]
+	hasW, hasNW, hasN, hasNE bool
+}
+
+func newFlatKernel[T any](p *Problem[T], data []T, rows, cols int) *flatKernel[T] {
+	return &flatKernel[T]{
+		data: data, rows: rows, cols: cols, p: p,
+		hasW:  p.Deps.Has(DepW),
+		hasNW: p.Deps.Has(DepNW),
+		hasN:  p.Deps.Has(DepN),
+		hasNE: p.Deps.Has(DepNE),
+	}
+}
+
+// cell evaluates (i, j). Interior cells (every neighbour in the table)
+// read the flat slice directly; edge cells fall back to edgeCell.
+func (k *flatKernel[T]) cell(i, j int) {
+	base := i*k.cols + j
+	if i > 0 && j > 0 && j+1 < k.cols {
+		var nb Neighbors[T]
+		up := base - k.cols
+		if k.hasW {
+			nb.W = k.data[base-1]
+		}
+		if k.hasNW {
+			nb.NW = k.data[up-1]
+		}
+		if k.hasN {
+			nb.N = k.data[up]
+		}
+		if k.hasNE {
+			nb.NE = k.data[up+1]
+		}
+		k.data[base] = k.p.F(i, j, nb)
+		return
+	}
+	k.edgeCell(i, j, base)
+}
+
+// edgeCell evaluates a cell on the table's top, left, or right edge, where
+// at least one neighbour read resolves through the boundary function.
+func (k *flatKernel[T]) edgeCell(i, j, base int) {
+	var nb Neighbors[T]
+	if k.hasW {
+		if j > 0 {
+			nb.W = k.data[base-1]
+		} else {
+			nb.W = k.p.boundary(i, j-1)
+		}
+	}
+	if k.hasNW {
+		if i > 0 && j > 0 {
+			nb.NW = k.data[base-k.cols-1]
+		} else {
+			nb.NW = k.p.boundary(i-1, j-1)
+		}
+	}
+	if k.hasN {
+		if i > 0 {
+			nb.N = k.data[base-k.cols]
+		} else {
+			nb.N = k.p.boundary(i-1, j)
+		}
+	}
+	if k.hasNE {
+		if i > 0 && j+1 < k.cols {
+			nb.NE = k.data[base-k.cols+1]
+		} else {
+			nb.NE = k.p.boundary(i-1, j+1)
+		}
+	}
+	k.data[base] = k.p.F(i, j, nb)
+}
+
+// fillRowMajor sweeps the whole table in row-major order, the cache-optimal
+// serial schedule (dependency-safe for every contributing set, as in
+// Solve). The single-worker degenerate case of the pool uses it: wavefront
+// order buys nothing without concurrency and walks the row-major slice with
+// a cols-sized stride.
+func (k *flatKernel[T]) fillRowMajor() {
+	for i := 0; i < k.rows; i++ {
+		for j := 0; j < k.cols; j++ {
+			k.cell(i, j)
+		}
+	}
+}
+
+// frontRunner builds the run(t, lo, hi) kernel for a canonical wavefront
+// space over a grid. When the grid is row-major the kernel walks the front
+// with an incremental (i, j) cursor over the flat kernel — the per-cell
+// Wavefronts.Cell call of the generic path recomputes the front span for
+// every cell, which dominates the per-cell budget for cheap recurrences.
+func frontRunner[T any](p *Problem[T], w Wavefronts, g *table.Grid[T]) func(t, lo, hi int) {
+	if flat := g.RowMajorData(); flat != nil {
+		k := newFlatKernel(p, flat, g.Rows(), g.Cols())
+		switch w.Pattern {
+		case AntiDiagonal:
+			return func(t, lo, hi int) {
+				first, _ := table.AntiDiagSpan(w.Rows, w.Cols, t)
+				i, j := first+lo, t-first-lo
+				for n := hi - lo; n > 0; n-- {
+					k.cell(i, j)
+					i++
+					j--
+				}
+			}
+		case Horizontal:
+			return func(t, lo, hi int) {
+				for j := lo; j < hi; j++ {
+					k.cell(t, j)
+				}
+			}
+		case InvertedL:
+			return func(t, lo, hi int) {
+				rowLen := w.Cols - t
+				for n := lo; n < hi; n++ {
+					if n < rowLen {
+						k.cell(t, t+n)
+					} else {
+						k.cell(t+1+(n-rowLen), t)
+					}
+				}
+			}
+		case KnightMove:
+			return func(t, lo, hi int) {
+				first, _ := table.KnightSpan(w.Rows, w.Cols, t)
+				i, j := first+lo, t-2*(first+lo)
+				for n := hi - lo; n > 0; n-- {
+					k.cell(i, j)
+					i++
+					j -= 2
+				}
+			}
+		}
+	}
+	rd := gridReader[T]{g}
+	return func(t, lo, hi int) {
+		computeFrontRange(p, rd, g, w, t, lo, hi)
+	}
+}
+
+// solveParallelPool is the pool-backed native solve shared by SolveParallel
+// and SolveParallelOpt: canonicalize, build the flat kernel, and drive it
+// with the band runtime (Horizontal, unless disabled) or the barrier pool.
+func solveParallelPool[T any](p *Problem[T], opts Options) (*table.Grid[T], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.NativeWorkers
+	if workers <= 0 {
+		// Cap the default at the physical core count: the pool is
+		// compute-bound, so workers beyond the hardware only lengthen the
+		// per-front barrier (every extra worker is one more scheduler
+		// round-trip per epoch with zero added throughput).
+		workers = min(runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+	cp, canonical, _, undo := canonicalize(p)
+	w := NewWavefronts(canonical, cp.Rows, cp.Cols)
+	g := table.NewGrid[T](cp.Rows, cp.Cols, nil)
+
+	if workers == 1 {
+		if flat := g.RowMajorData(); flat != nil {
+			// Serial degenerate case: wavefront order buys nothing without
+			// concurrency, so sweep row-major (cache-optimal, and
+			// dependency-safe for every contributing set, as in Solve).
+			newFlatKernel(cp, flat, cp.Rows, cp.Cols).fillRowMajor()
+			return undo(g), nil
+		}
+	}
+
+	run := frontRunner(cp, w, g)
+	if canonical == Horizontal && !opts.NativeNoLookahead && workers > 1 {
+		// Constant-width fronts with no W dependency: column bands with
+		// point-to-point neighbour handoff instead of a global barrier.
+		needLeft := cp.Deps.Has(DepNW)
+		needRight := cp.Deps.Has(DepNE)
+		runBands(workers, w.Fronts, cp.Cols, needLeft, needRight, run)
+		return undo(g), nil
+	}
+	runWavefronts(workers, opts.NativeChunk, w.Fronts, w.Size, run)
+	return undo(g), nil
+}

@@ -97,25 +97,34 @@ type cellReader[T any] interface {
 // gatherNeighbors resolves the contributing neighbours of (i, j), reading
 // computed cells from rd and boundary values from the problem. Only the
 // neighbours present in Deps are filled; the rest stay zero.
-func gatherNeighbors[T any](p *Problem[T], rd cellReader[T], i, j int) Neighbors[T] {
+//
+// The reader is a type parameter rather than an interface value so each
+// instantiation dispatches its at/inBounds methods statically: this is the
+// innermost loop of every solver and an interface call per neighbour read
+// would defeat inlining.
+func gatherNeighbors[T any, R cellReader[T]](p *Problem[T], rd R, i, j int) Neighbors[T] {
 	var nb Neighbors[T]
-	read := func(ni, nj int) T {
-		if rd.inBounds(ni, nj) {
-			return rd.at(ni, nj)
-		}
-		return p.boundary(ni, nj)
+	deps := p.Deps
+	if deps.Has(DepW) {
+		nb.W = readCell[T](p, rd, i, j-1)
 	}
-	if p.Deps.Has(DepW) {
-		nb.W = read(i, j-1)
+	if deps.Has(DepNW) {
+		nb.NW = readCell[T](p, rd, i-1, j-1)
 	}
-	if p.Deps.Has(DepNW) {
-		nb.NW = read(i-1, j-1)
+	if deps.Has(DepN) {
+		nb.N = readCell[T](p, rd, i-1, j)
 	}
-	if p.Deps.Has(DepN) {
-		nb.N = read(i-1, j)
-	}
-	if p.Deps.Has(DepNE) {
-		nb.NE = read(i-1, j+1)
+	if deps.Has(DepNE) {
+		nb.NE = readCell[T](p, rd, i-1, j+1)
 	}
 	return nb
+}
+
+// readCell reads a computed cell, falling back to the boundary function for
+// out-of-table coordinates.
+func readCell[T any, R cellReader[T]](p *Problem[T], rd R, ni, nj int) T {
+	if rd.inBounds(ni, nj) {
+		return rd.at(ni, nj)
+	}
+	return p.boundary(ni, nj)
 }

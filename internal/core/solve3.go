@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/hetsim"
@@ -61,33 +60,15 @@ func SolveParallel3[T any](p *Problem3[T], workers int) (*table.Grid3[T], error)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	g := table.NewGrid3[T](p.NX, p.NY, p.NZ, nil)
-	const minChunk = 512
-	var wg sync.WaitGroup
-	for s := 0; s < p.Planes(); s++ {
-		size := table.PlaneSize(p.NX, p.NY, p.NZ, s)
-		if size <= minChunk || workers == 1 {
-			forEachPlaneCell(p, s, 0, size, func(i, j, k int) {
-				g.Set(i, j, k, p.F(i, j, k, gather3(p, g, i, j, k)))
-			})
-			continue
-		}
-		chunks := min(workers, size/minChunk)
-		per := (size + chunks - 1) / chunks
-		for c := 0; c < chunks; c++ {
-			lo, hi := c*per, min((c+1)*per, size)
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				forEachPlaneCell(p, s, lo, hi, func(i, j, k int) {
-					g.Set(i, j, k, p.F(i, j, k, gather3(p, g, i, j, k)))
-				})
-			}(lo, hi)
-		}
-		wg.Wait()
-	}
+	// Planes grow and shrink like 2-D anti-diagonals; the pool runtime's
+	// serial cutoff keeps the small end planes on the advancing worker.
+	runWavefronts(workers, 512, p.Planes(), func(s int) int {
+		return table.PlaneSize(p.NX, p.NY, p.NZ, s)
+	}, func(s, lo, hi int) {
+		forEachPlaneCell(p, s, lo, hi, func(i, j, k int) {
+			g.Set(i, j, k, p.F(i, j, k, gather3(p, g, i, j, k)))
+		})
+	})
 	return g, nil
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/table"
 )
@@ -63,29 +62,15 @@ func SolveTiled[T any](p *Problem[T], tile, workers int) (*table.Grid[T], error)
 		}
 	}
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for t := 0; t < bw.Fronts; t++ {
-		size := bw.Size(t)
-		if size == 1 || workers == 1 {
-			for k := 0; k < size; k++ {
-				bi, bj := bw.Cell(t, k)
-				fillBlock(bi, bj)
-			}
-			continue
-		}
-		for k := 0; k < size; k++ {
+	// Blocks are coarse units, so the pool claims one block per cursor bump
+	// (chunk=1); the chunk doubling as serial cutoff means single-block
+	// fronts run inline on the advancing worker.
+	runWavefronts(workers, 1, bw.Fronts, bw.Size, func(t, lo, hi int) {
+		for k := lo; k < hi; k++ {
 			bi, bj := bw.Cell(t, k)
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(bi, bj int) {
-				defer wg.Done()
-				fillBlock(bi, bj)
-				<-sem
-			}(bi, bj)
+			fillBlock(bi, bj)
 		}
-		wg.Wait()
-	}
+	})
 	return undo(g), nil
 }
 

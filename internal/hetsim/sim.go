@@ -35,7 +35,12 @@ type record struct {
 	op    Op
 	start time.Duration
 	end   time.Duration
-	deps  []OpID
+	// front is the wavefront index for per-front operations (SubmitFront),
+	// or NoFront for plain submissions. It is carried separately from the
+	// label so the hot submission path never formats strings; the full
+	// "label:t=front" form is materialized lazily by OpRecord.FullLabel
+	// when a trace sink actually renders the timeline.
+	front int
 	// critParent is the operation whose completion set this op's start
 	// time: the latest-ending dependency, or the same-resource predecessor
 	// when queue order dominates. NoOp when the op started at time zero.
@@ -92,6 +97,17 @@ func (s *Sim) effectiveResource(r Resource) Resource {
 // unknown resources, or forward references, all of which are programming
 // errors in the strategy code.
 func (s *Sim) Submit(op Op, deps ...OpID) OpID {
+	return s.SubmitFront(op, NoFront, deps...)
+}
+
+// SubmitFront is Submit for a per-wavefront operation: front tags the op
+// with its wavefront index without formatting it into the label. The tag
+// surfaces as OpRecord.Front and is appended to the display label only when
+// a trace sink materializes it (OpRecord.FullLabel), which keeps the
+// per-iteration submission path free of string formatting — frameworks
+// submit two to three ops per front, so a fmt.Sprintf here dominates the
+// allocation profile of every simulated sweep.
+func (s *Sim) SubmitFront(op Op, front int, deps ...OpID) OpID {
 	if op.Duration < 0 {
 		panic(fmt.Sprintf("hetsim: negative duration %v for op %q", op.Duration, op.Label))
 	}
@@ -99,10 +115,12 @@ func (s *Sim) Submit(op Op, deps ...OpID) OpID {
 	if res < 0 || int(res) >= len(s.resourceReady) {
 		panic(fmt.Sprintf("hetsim: unknown resource %d for op %q", int(op.Resource), op.Label))
 	}
+	if front < 0 {
+		front = NoFront
+	}
 	id := OpID(len(s.ops))
 	start := s.resourceReady[res]
 	parent := s.lastOnResource(res)
-	kept := make([]OpID, 0, len(deps))
 	for _, d := range deps {
 		if d == NoOp {
 			continue
@@ -110,7 +128,6 @@ func (s *Sim) Submit(op Op, deps ...OpID) OpID {
 		if d < 0 || d >= id {
 			panic(fmt.Sprintf("hetsim: op %q depends on invalid op %d", op.Label, int(d)))
 		}
-		kept = append(kept, d)
 		if e := s.opEnd[d]; e > start {
 			start = e
 			parent = d
@@ -120,8 +137,8 @@ func (s *Sim) Submit(op Op, deps ...OpID) OpID {
 		// The resource was free before the constraining dependency ended;
 		// keep the dependency as the parent only if it actually set start.
 		parent = NoOp
-		for _, d := range kept {
-			if s.opEnd[d] == start {
+		for _, d := range deps {
+			if d != NoOp && s.opEnd[d] == start {
 				parent = d
 				break
 			}
@@ -136,7 +153,7 @@ func (s *Sim) Submit(op Op, deps ...OpID) OpID {
 	s.resourceReady[res] = end
 	s.lastOp[res] = id
 	op.Resource = res
-	s.ops = append(s.ops, record{op: op, start: start, end: end, deps: kept, critParent: parent})
+	s.ops = append(s.ops, record{op: op, start: start, end: end, front: front, critParent: parent})
 	s.opEnd = append(s.opEnd, end)
 	return id
 }
@@ -173,6 +190,7 @@ func (s *Sim) Timeline() Timeline {
 		recs[i] = OpRecord{
 			ID:       OpID(i),
 			Label:    r.op.Label,
+			Front:    r.front,
 			Resource: r.op.Resource,
 			Kind:     r.op.Kind,
 			Start:    r.start,
@@ -213,7 +231,7 @@ func (s *Sim) CriticalPath() []OpRecord {
 	for id := last; id != NoOp; {
 		r := s.ops[id]
 		path = append(path, OpRecord{
-			ID: id, Label: r.op.Label, Resource: r.op.Resource, Kind: r.op.Kind,
+			ID: id, Label: r.op.Label, Front: r.front, Resource: r.op.Resource, Kind: r.op.Kind,
 			Start: r.start, End: r.end, Cells: r.op.Cells, Bytes: r.op.Bytes,
 		})
 		id = r.critParent

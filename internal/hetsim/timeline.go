@@ -2,13 +2,22 @@ package hetsim
 
 import (
 	"sort"
+	"strconv"
 	"time"
 )
 
+// NoFront marks an operation that is not tagged with a wavefront index.
+const NoFront = -1
+
 // OpRecord is one scheduled operation on a Timeline.
 type OpRecord struct {
-	ID       OpID
-	Label    string
+	ID    OpID
+	Label string
+	// Front is the wavefront index of a per-front operation submitted via
+	// SubmitFront, or NoFront. Keeping the index out of Label lets the
+	// simulator run label-formatting-free; sinks that want the classic
+	// "cpu:p1:t=12" form call FullLabel.
+	Front    int
 	Resource Resource
 	Kind     OpKind
 	Start    time.Duration
@@ -19,6 +28,17 @@ type OpRecord struct {
 
 // Duration returns the operation's occupancy on its resource.
 func (r OpRecord) Duration() time.Duration { return r.End - r.Start }
+
+// FullLabel materializes the display label, appending the ":t=<front>"
+// suffix for front-tagged operations. Only trace sinks should call this;
+// aggregation keys on the bare Label so all fronts of one phase group
+// together.
+func (r OpRecord) FullLabel() string {
+	if r.Front <= NoFront {
+		return r.Label
+	}
+	return r.Label + ":t=" + strconv.Itoa(r.Front)
+}
 
 // Timeline is the resolved schedule of a simulated execution.
 type Timeline struct {

@@ -60,6 +60,17 @@ func (g *Grid[T]) Set(i, j int, v T) {
 	g.data[g.layout.Index(g.rows, g.cols, i, j)] = v
 }
 
+// RowMajorData returns the backing slice when the grid uses the RowMajor
+// layout, in which cell (i, j) lives at data[i*cols+j]; it returns nil for
+// any other layout. Hot kernels use it to bypass the per-cell Layout.Index
+// dispatch of At/Set.
+func (g *Grid[T]) RowMajorData() []T {
+	if _, ok := g.layout.(RowMajor); ok {
+		return g.data
+	}
+	return nil
+}
+
 // InBounds reports whether (i, j) is a valid cell.
 func (g *Grid[T]) InBounds(i, j int) bool {
 	return i >= 0 && i < g.rows && j >= 0 && j < g.cols

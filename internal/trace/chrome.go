@@ -35,7 +35,7 @@ func WriteChromeTrace(w io.Writer, t hetsim.Timeline) error {
 			args["bytes"] = itoa(r.Bytes)
 		}
 		events = append(events, chromeEvent{
-			Name: r.Label,
+			Name: r.FullLabel(),
 			Cat:  r.Kind.String(),
 			Ph:   "X",
 			TS:   float64(r.Start) / 1e3,

@@ -64,7 +64,7 @@ func WriteHTMLGantt(w io.Writer, t hetsim.Timeline, title string) error {
 		fmt.Fprintf(w,
 			`<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s [%s .. %s] cells=%d bytes=%d</title></rect>`+"\n",
 			x, y, wpx, laneHeight-8, color,
-			html.EscapeString(rec.Label), formatDuration(rec.Start), formatDuration(rec.End),
+			html.EscapeString(rec.FullLabel()), formatDuration(rec.Start), formatDuration(rec.End),
 			rec.Cells, rec.Bytes)
 	}
 	_, err := fmt.Fprint(w, "</svg></body></html>\n")

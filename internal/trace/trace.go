@@ -70,7 +70,7 @@ func WriteCSV(w io.Writer, t hetsim.Timeline) error {
 	}
 	for _, r := range t.Records {
 		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s,%d,%d,%d,%d\n",
-			r.ID, r.Label, t.NameOf(r.Resource), r.Kind, int64(r.Start), int64(r.End), r.Cells, r.Bytes); err != nil {
+			r.ID, r.FullLabel(), t.NameOf(r.Resource), r.Kind, int64(r.Start), int64(r.End), r.Cells, r.Bytes); err != nil {
 			return err
 		}
 	}
