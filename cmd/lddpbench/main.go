@@ -9,10 +9,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -24,6 +26,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	outDir := flag.String("out", "", "also write each experiment's tables to <out>/<id>.txt")
 	svgDir := flag.String("svg", "", "render the paper's measured figures as SVG charts into this directory and exit")
+	traceRuns := flag.Bool("trace", false, "print per-experiment wall times as they complete")
+	metricsFile := flag.String("metrics", "", "write a JSON timing document of the run to this file")
 	flag.Parse()
 
 	if *svgDir != "" {
@@ -77,14 +81,28 @@ func main() {
 		toRun = []experiments.Experiment{e}
 	}
 
+	type runTiming struct {
+		ID     string `json:"id"`
+		Title  string `json:"title"`
+		WallNS int64  `json:"wall_ns"`
+		Tables int    `json:"tables"`
+	}
+	var timings []runTiming
+
 	for _, e := range toRun {
 		fmt.Printf("== %s: %s\n", e.ID, e.Title)
 		fmt.Printf("   %s\n\n", e.Description)
+		start := time.Now()
 		tables, err := e.Run(cfg)
+		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		if *traceRuns {
+			fmt.Printf("-- %s done in %s (%d tables)\n\n", e.ID, wall.Round(time.Millisecond), len(tables))
+		}
+		timings = append(timings, runTiming{ID: e.ID, Title: e.Title, WallNS: wall.Nanoseconds(), Tables: len(tables)})
 		for _, t := range tables {
 			t.Format(os.Stdout)
 		}
@@ -94,6 +112,24 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	if *metricsFile != "" {
+		doc := struct {
+			Quick       bool        `json:"quick"`
+			Seed        uint64      `json:"seed"`
+			Experiments []runTiming `json:"experiments"`
+		}{Quick: *quick, Seed: *seed, Experiments: timings}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metricsFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *metricsFile)
 	}
 }
 

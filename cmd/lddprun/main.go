@@ -7,25 +7,29 @@
 //	lddprun -problem dither -size 512 -solver parallel -workers 8
 //	lddprun -problem checkerboard -size 1024 -solver hetero -platform Hetero-Low -gantt
 //	lddprun -problem checkerboard -size 4096 -solver multi -accels k20,phi
+//	lddprun -problem lcs -size 2048 -solver hetero -metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/hetsim"
 	"repro/internal/trace"
+	"repro/lddp"
 )
 
 func main() {
 	problem := flag.String("problem", "levenshtein", fmt.Sprintf("one of %v", cli.ProblemNames()))
 	size := flag.Int("size", 1024, "table side length")
 	solver := flag.String("solver", "hetero", "seq, parallel, tiled, resilient, cpu, gpu, hetero or multi")
-	workers := flag.Int("workers", 0, "workers for -solver parallel (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "workers for -solver parallel/tiled (0 = min(GOMAXPROCS, NumCPU))")
 	platform := flag.String("platform", "Hetero-High", "simulated platform (Hetero-High, Hetero-Low, Hetero-Phi, Hetero-Modern)")
 	platformFile := flag.String("platform-file", "", "load a custom platform calibration from a JSON file (overrides -platform)")
 	tswitch := flag.Int("tswitch", -1, "t_switch (-1 = auto)")
@@ -38,6 +42,8 @@ func main() {
 	replicas := flag.Int("replicas", 3, "memory replicas for -solver resilient")
 	faultRate := flag.Int("faultrate", 1, "percent of writes corrupted per replica for -solver resilient")
 	htmlOut := flag.String("html", "", "write an HTML Gantt chart of the simulated timeline to this file")
+	metricsOut := flag.Bool("metrics", false, "emit the collected runtime metrics as JSON on stdout")
+	traceOut := flag.Bool("trace", false, "print a phase/worker trace table of the solve")
 	flag.Parse()
 
 	inst, err := cli.BuildInstance(*problem, *size, *seed)
@@ -45,6 +51,15 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("problem=%s table=%dx%d pattern=%s\n", inst.Name, inst.Rows, inst.Cols, inst.Pattern)
+
+	// One collector serves both reporting flags; solvers that never emit
+	// events (seq, resilient) just yield an empty document.
+	var metrics *lddp.Metrics
+	var coll core.Collector
+	if *metricsOut || *traceOut {
+		metrics = &lddp.Metrics{}
+		coll = metrics
+	}
 
 	switch *solver {
 	case "seq":
@@ -58,7 +73,7 @@ func main() {
 		if tl <= 0 {
 			tl = core.DefaultTile(4)
 		}
-		ans, err := inst.SolveTiled(tl, *workers)
+		ans, err := inst.SolveTiled(tl, core.Options{NativeWorkers: *workers, Collector: coll})
 		if err != nil {
 			fatal(err)
 		}
@@ -70,7 +85,7 @@ func main() {
 		}
 		fmt.Printf("%s (replicas=%d, detected faults at %d cells)\n", ans, *replicas, corrected)
 	case "parallel":
-		ans, err := inst.SolveParallel(*workers)
+		ans, err := inst.SolveParallel(core.Options{NativeWorkers: *workers, Collector: coll})
 		if err != nil {
 			fatal(err)
 		}
@@ -90,7 +105,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		opts := core.Options{Platform: plat, TSwitch: *tswitch, TShare: *tshare}
+		opts := core.Options{Platform: plat, TSwitch: *tswitch, TShare: *tshare, Collector: coll}
 		var info cli.SimInfo
 		if *solver == "multi" {
 			names := strings.Split(*accels, ",")
@@ -132,6 +147,35 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+
+	if *traceOut {
+		printTrace(metrics.Snapshot())
+	}
+	if *metricsOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(metrics.Snapshot()); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printTrace renders the collected metrics as a readable table.
+func printTrace(s lddp.MetricsSnapshot) {
+	fmt.Printf("trace: solver=%s fronts=%d cells=%d\n", s.Solver, s.TotalFronts, s.TotalCells)
+	for _, ph := range s.Phases {
+		fmt.Printf("  phase %-12s wall=%-14s spans=%d\n", ph.Name, time.Duration(ph.WallNS), ph.Count)
+	}
+	for _, w := range s.Workers {
+		fmt.Printf("  worker %-3d chunks=%-6d cells=%-10d busy=%-14s util=%.2f\n",
+			w.Worker, w.Chunks, w.Cells, time.Duration(w.BusyNS), w.Utilization)
+	}
+	tr := s.Transfers
+	if tr.BoundaryH2D.Count+tr.BoundaryD2H.Count+tr.BulkH2D.Count+tr.BulkD2H.Count > 0 {
+		fmt.Printf("  transfers boundary h2d=%dB/%d d2h=%dB/%d bulk h2d=%dB/%d d2h=%dB/%d\n",
+			tr.BoundaryH2D.Bytes, tr.BoundaryH2D.Count, tr.BoundaryD2H.Bytes, tr.BoundaryD2H.Count,
+			tr.BulkH2D.Bytes, tr.BulkH2D.Count, tr.BulkD2H.Bytes, tr.BulkD2H.Count)
 	}
 }
 

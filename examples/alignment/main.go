@@ -1,21 +1,23 @@
 // Alignment: the bioinformatics workloads that motivate LDDP frameworks —
 // edit distance, global alignment (Needleman-Wunsch) and local alignment
-// (Smith-Waterman) over DNA sequences — solved through the heterogeneous
-// framework on both of the paper's platforms.
+// (Smith-Waterman) over DNA sequences — solved through the public lddp
+// facade on both of the paper's platforms, with a metrics collector
+// showing the runtime's observability output.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/hetsim"
 	"repro/internal/problems"
-	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/lddp"
 )
 
 func main() {
+	ctx := context.Background()
+
 	const n = 2000
 	// Two sequences differing in ~15% of positions: a realistic pair of
 	// homologous reads.
@@ -26,43 +28,49 @@ func main() {
 
 	// Edit distance (anti-diagonal pattern).
 	lev := problems.Levenshtein(a, b)
-	levRes, err := core.SolveHetero(lev, core.Options{TSwitch: -1, TShare: -1})
+	levRes, err := lddp.Solve(ctx, lev, lddp.WithStrategy(lddp.Hetero))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("levenshtein distance  = %d   [pattern %s, %s]\n",
-		problems.LevenshteinDistance(levRes.Grid, a, b), levRes.Pattern, trace.FormatDuration(levRes.Time))
+		problems.LevenshteinDistance(levRes.Grid, a, b), levRes.Pattern, levRes.SimTime)
 
 	// Global alignment score.
 	nw := problems.NeedlemanWunsch(a, b, scores)
-	nwRes, err := core.SolveHetero(nw, core.Options{TSwitch: -1, TShare: -1})
+	nwRes, err := lddp.Solve(ctx, nw, lddp.WithStrategy(lddp.Hetero))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("global align score    = %d  [pattern %s, %s]\n",
-		problems.GlobalScore(nwRes.Grid, a, b), nwRes.Pattern, trace.FormatDuration(nwRes.Time))
+		problems.GlobalScore(nwRes.Grid, a, b), nwRes.Pattern, nwRes.SimTime)
 
 	// Local alignment score.
 	sw := problems.SmithWaterman(a, b, scores)
-	swRes, err := core.SolveHetero(sw, core.Options{TSwitch: -1, TShare: -1})
+	swRes, err := lddp.Solve(ctx, sw, lddp.WithStrategy(lddp.Hetero))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("local align score     = %d  [pattern %s, %s]\n\n",
-		problems.LocalBestScore(swRes.Grid), swRes.Pattern, trace.FormatDuration(swRes.Time))
+		problems.LocalBestScore(swRes.Grid), swRes.Pattern, swRes.SimTime)
 
-	// How the framework would divide this work on each platform.
+	// How the framework divides this work on each platform, observed
+	// through a metrics collector.
 	fmt.Println("heterogeneous execution profile (Levenshtein):")
-	for _, plat := range hetsim.Platforms() {
-		res, err := core.SolveHetero(lev, core.Options{
-			Platform: plat, TSwitch: -1, TShare: -1, SkipCompute: true,
-		})
+	for _, platform := range []string{"Hetero-High", "Hetero-Low"} {
+		metrics := &lddp.Metrics{}
+		res, err := lddp.Solve(ctx, lev,
+			lddp.WithStrategy(lddp.Hetero),
+			lddp.WithPlatform(platform),
+			lddp.WithCollector(metrics))
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := res.Stats()
+		st := res.Timeline.Summarize()
 		fmt.Printf("  %-12s t_switch=%-5d t_share=%-5d cpuCells=%-8d gpuCells=%-8d %s\n",
-			plat.Name, res.TSwitch, res.TShare, st.CPUCells, st.GPUCells,
-			trace.FormatDuration(res.Time))
+			platform, res.TSwitch, res.TShare, st.CPUCells, st.GPUCells, res.SimTime)
+		snap := metrics.Snapshot()
+		for _, ph := range snap.Phases {
+			fmt.Printf("    phase %-4s wall=%s\n", ph.Name, fmt.Sprintf("%dns", ph.WallNS))
+		}
 	}
 }

@@ -1,7 +1,7 @@
 // Quickstart: define an LDDP-Plus problem with nothing but its recurrence
 // and contributing set, let the framework classify it, and solve it four
 // ways — sequentially, with real goroutines, and on both simulated devices
-// plus the heterogeneous framework.
+// plus the heterogeneous framework — all through the public lddp facade.
 //
 // The problem here is a toy "weighted paths" recurrence
 //
@@ -12,21 +12,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/hetsim"
-	"repro/internal/trace"
+	"repro/lddp"
 )
 
 func main() {
-	p := &core.Problem[int64]{
+	ctx := context.Background()
+
+	p := &lddp.Problem[int64]{
 		Name: "weighted-paths",
 		Rows: 1024,
 		Cols: 1024,
-		Deps: core.DepNW | core.DepN,
-		F: func(i, j int, nb core.Neighbors[int64]) int64 {
+		Deps: lddp.DepNW | lddp.DepN,
+		F: func(i, j int, nb lddp.Neighbors[int64]) int64 {
 			return int64((i*j)%7) + max(nb.NW, nb.N)
 		},
 		BytesPerCell: 8,
@@ -34,41 +35,39 @@ func main() {
 
 	// 1. The framework classifies the problem from its contributing set.
 	fmt.Printf("contributing set %s -> pattern %s, transfers: %s\n",
-		p.Deps, core.Classify(p.Deps), core.TransferNeed(p.Deps))
+		p.Deps, lddp.Classify(p.Deps), lddp.TransferNeed(p.Deps))
 
 	// 2. Sequential reference solve.
-	seq, err := core.Solve(p)
+	seq, err := lddp.Solve(ctx, p, lddp.WithStrategy(lddp.Sequential))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sequential:    f(n-1,n-1) = %d\n", seq.At(p.Rows-1, p.Cols-1))
+	fmt.Printf("sequential:    f(n-1,n-1) = %d\n", seq.Grid.At(p.Rows-1, p.Cols-1))
 
-	// 3. Native multicore solve (real goroutines, same values).
-	par, err := core.SolveParallel(p, 0)
+	// 3. Native multicore solve (real goroutines, same values). The zero
+	// option set defaults to this strategy with auto-sized workers.
+	par, err := lddp.Solve(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("parallel:      f(n-1,n-1) = %d\n", par.At(p.Rows-1, p.Cols-1))
+	fmt.Printf("parallel:      f(n-1,n-1) = %d\n", par.Grid.At(p.Rows-1, p.Cols-1))
 
 	// 4. Simulated single-device baselines and the heterogeneous framework.
 	for _, mode := range []struct {
-		name  string
-		solve func(*core.Problem[int64], core.Options) (*core.Result[int64], error)
+		name     string
+		strategy lddp.Strategy
 	}{
-		{"cpu-only  ", core.SolveCPUOnly[int64]},
-		{"gpu-only  ", core.SolveGPUOnly[int64]},
-		{"framework ", core.SolveHetero[int64]},
+		{"cpu-only  ", lddp.SimCPU},
+		{"gpu-only  ", lddp.SimGPU},
+		{"framework ", lddp.Hetero},
 	} {
-		res, err := mode.solve(p, core.Options{
-			Platform: hetsim.HeteroHigh(),
-			TSwitch:  -1, // auto
-			TShare:   -1, // auto
-		})
+		res, err := lddp.Solve(ctx, p,
+			lddp.WithStrategy(mode.strategy),
+			lddp.WithPlatform("Hetero-High"))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s f(n-1,n-1) = %d  simulated %s  (t_share=%d)\n",
-			mode.name, res.Grid.At(p.Rows-1, p.Cols-1),
-			trace.FormatDuration(res.Time), res.TShare)
+			mode.name, res.Grid.At(p.Rows-1, p.Cols-1), res.SimTime, res.TShare)
 	}
 }

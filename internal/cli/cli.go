@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,15 +35,17 @@ type Instance struct {
 
 	// SolveSeq runs the sequential reference and returns the answer.
 	SolveSeq func() (string, error)
-	// SolveParallel runs the native goroutine solver.
-	SolveParallel func(workers int) (string, error)
+	// SolveParallel runs the native goroutine solver; opts carries the
+	// runtime knobs (workers, chunk, lookahead) and an optional Collector.
+	SolveParallel func(opts core.Options) (string, error)
 	// SolveSim runs a simulated solver: mode is "cpu", "gpu" or "hetero".
 	SolveSim func(mode string, opts core.Options) (SimInfo, error)
 	// SolveMulti runs the multi-accelerator extension (horizontal-pattern
 	// problems only) with the named accelerators.
 	SolveMulti func(accelNames []string, opts core.Options) (SimInfo, error)
-	// SolveTiled runs the cache-efficient tiled multicore baseline.
-	SolveTiled func(tile, workers int) (string, error)
+	// SolveTiled runs the cache-efficient tiled multicore baseline; worker
+	// count and Collector ride in opts.
+	SolveTiled func(tile int, opts core.Options) (string, error)
 	// SolveResilient runs the unreliable-memory solver with seeded faults
 	// at ratePercent per replica write, and reports the answer plus the
 	// number of cells where corruption was detected.
@@ -80,8 +83,8 @@ func makeInstance[T comparable](p *core.Problem[T], answer func(*table.Grid[T]) 
 		}
 		return answer(g), nil
 	}
-	inst.SolveParallel = func(workers int) (string, error) {
-		g, err := core.SolveParallel(p, workers)
+	inst.SolveParallel = func(opts core.Options) (string, error) {
+		g, err := core.SolveParallelOpt(p, opts)
 		if err != nil {
 			return "", err
 		}
@@ -142,8 +145,8 @@ func makeInstance[T comparable](p *core.Problem[T], answer func(*table.Grid[T]) 
 		}
 		return info, nil
 	}
-	inst.SolveTiled = func(tile, workers int) (string, error) {
-		g, err := core.SolveTiled(p, tile, workers)
+	inst.SolveTiled = func(tile int, opts core.Options) (string, error) {
+		g, err := core.SolveTiledContext(context.Background(), p, tile, opts)
 		if err != nil {
 			return "", err
 		}

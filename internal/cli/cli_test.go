@@ -23,7 +23,7 @@ func TestBuildInstanceAllNames(t *testing.T) {
 		if !strings.Contains(ans, "=") {
 			t.Errorf("%s: answer %q has no key=value form", name, ans)
 		}
-		par, err := inst.SolveParallel(2)
+		par, err := inst.SolveParallel(core.Options{NativeWorkers: 2})
 		if err != nil {
 			t.Fatalf("%s parallel: %v", name, err)
 		}
@@ -99,7 +99,7 @@ func TestSolveTiledAndResilientAgreeWithSeq(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tiled, err := inst.SolveTiled(8, 2)
+	tiled, err := inst.SolveTiled(8, core.Options{NativeWorkers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

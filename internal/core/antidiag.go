@@ -17,7 +17,10 @@ import (
 // fronts, and the CPU needs nothing back: the transfer is strictly one-way
 // CPU->GPU (Table II), so the DMA copy pipelines under the running kernel.
 // Phase 3: the last tSwitch fronts run entirely on the CPU again.
-func runAntiDiagonal[T any](e *heteroExec[T], tSwitch, tShare int) {
+//
+// The solve context is polled once per front; an observed cancellation
+// aborts the plan and surfaces as *Canceled.
+func runAntiDiagonal[T any](e *heteroExec[T], tSwitch, tShare int) error {
 	fronts := e.w.Fronts
 	tSwitch = clampTSwitch(tSwitch, fronts)
 	p2Start, p3Start := tSwitch, fronts-tSwitch
@@ -33,6 +36,9 @@ func runAntiDiagonal[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 1: CPU only.
 	for t := 0; t < p2Start; t++ {
+		if e.canceled() {
+			return e.cancelErr("hetero", t)
+		}
 		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "cpu:p1", lastCPU)
 	}
 
@@ -51,6 +57,9 @@ func runAntiDiagonal[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 2: split fronts.
 	for t := p2Start; t < p3Start; t++ {
+		if e.canceled() {
+			return e.cancelErr("hetero", t)
+		}
 		size := e.w.Size(t)
 		firstRow, _ := table.AntiDiagSpan(e.w.Rows, e.w.Cols, t)
 		cpuCount := tShare - firstRow
@@ -103,6 +112,9 @@ func runAntiDiagonal[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 3: CPU only.
 	for t := p3Start; t < fronts; t++ {
+		if e.canceled() {
+			return e.cancelErr("hetero", t)
+		}
 		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "cpu:p3", lastCPU, syncDown)
 	}
 
@@ -111,4 +123,5 @@ func runAntiDiagonal[T any](e *heteroExec[T], tSwitch, tShare int) {
 	if tSwitch == 0 && lastGPU != hetsim.NoOp {
 		e.extract(e.w.Size(fronts-1), lastGPU)
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/table"
@@ -18,6 +19,12 @@ import (
 // chooses outOfBand to be absorbing for the recurrence (+infinity for
 // minimizations).
 func SolveBanded[T any](p *Problem[T], band int, outOfBand BoundaryFunc[T]) (*table.Grid[T], error) {
+	return SolveBandedContext(context.Background(), p, band, outOfBand)
+}
+
+// SolveBandedContext is SolveBanded honoring a context, polled once per
+// row. A canceled solve returns a nil grid and a *Canceled error.
+func SolveBandedContext[T any](ctx context.Context, p *Problem[T], band int, outOfBand BoundaryFunc[T]) (*table.Grid[T], error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -27,11 +34,15 @@ func SolveBanded[T any](p *Problem[T], band int, outOfBand BoundaryFunc[T]) (*ta
 	if outOfBand == nil {
 		return nil, fmt.Errorf("core: outOfBand function required (an absorbing value for the recurrence)")
 	}
+	done := ctxDone(ctx)
 	g := table.NewGrid[T](p.Rows, p.Cols, nil)
 	g.Fill(func(i, j int) T { return outOfBand(i, j) })
 
 	rd := bandReader[T]{g: g, band: band, outOfBand: outOfBand}
 	for i := 0; i < p.Rows; i++ {
+		if isDone(done) {
+			return nil, canceledErr(ctx, "banded", i)
+		}
 		jLo := max(0, i-band)
 		jHi := min(p.Cols-1, i+band)
 		for j := jLo; j <= jHi; j++ {

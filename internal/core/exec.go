@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/hetsim"
 	"repro/internal/table"
 )
@@ -21,9 +23,11 @@ type heteroExec[T any] struct {
 	opts      Options
 	coalesced bool // layout stores fronts contiguously
 	bpc       int
+	ctx       context.Context
+	done      <-chan struct{} // solve context's done channel; nil = uncancellable
 }
 
-func newHeteroExec[T any](p *Problem[T], w Wavefronts, opts Options) *heteroExec[T] {
+func newHeteroExec[T any](ctx context.Context, p *Problem[T], w Wavefronts, opts Options) *heteroExec[T] {
 	var g *table.Grid[T]
 	if !opts.SkipCompute {
 		g = table.NewGrid[T](p.Rows, p.Cols, opts.Layout)
@@ -36,7 +40,18 @@ func newHeteroExec[T any](p *Problem[T], w Wavefronts, opts Options) *heteroExec
 		opts:      opts,
 		coalesced: opts.Layout.Name() == w.PreferredLayout().Name(),
 		bpc:       p.bytesPerCell(),
+		ctx:       ctx,
+		done:      ctxDone(ctx),
 	}
+}
+
+// canceled polls the solve context; the strategies check it once per front,
+// which bounds the cancellation latency to one front's work.
+func (e *heteroExec[T]) canceled() bool { return isDone(e.done) }
+
+// cancelErr builds the *Canceled error for a strategy interrupted at front.
+func (e *heteroExec[T]) cancelErr(solver string, front int) error {
+	return canceledErr(e.ctx, solver, front)
 }
 
 // compute evaluates cells [lo, hi) of front t into the grid.
@@ -117,6 +132,9 @@ func (e *heteroExec[T]) boundary(res hetsim.Resource, cells int, label string, d
 	bytes := cells * e.bpc
 	pinned := !e.opts.UsePageable
 	dur := e.opts.Platform.Bus.TransferDuration(bytes, pinned)
+	if c := e.opts.Collector; c != nil {
+		c.Transfer(TransferStats{Boundary: true, ToDevice: res == hetsim.ResCopyH2D, Bytes: bytes, Cells: cells})
+	}
 	return e.sim.Submit(hetsim.Op{
 		Resource: e.transferResource(res),
 		Kind:     hetsim.OpTransfer,
@@ -134,6 +152,9 @@ func (e *heteroExec[T]) bulk(res hetsim.Resource, bytes int, label string, deps 
 		return hetsim.NoOp
 	}
 	dur := e.opts.Platform.Bus.TransferDuration(bytes, false)
+	if c := e.opts.Collector; c != nil {
+		c.Transfer(TransferStats{Boundary: false, ToDevice: res == hetsim.ResCopyH2D, Bytes: bytes})
+	}
 	return e.sim.Submit(hetsim.Op{
 		Resource: e.transferResource(res),
 		Kind:     hetsim.OpTransfer,

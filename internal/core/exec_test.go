@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/hetsim"
@@ -12,7 +13,7 @@ func newTestExec(t *testing.T, opts Options) *heteroExec[int64] {
 	p := testProblem(DepW|DepN, 10, 10)
 	w := NewWavefronts(AntiDiagonal, 10, 10)
 	opts = opts.withDefaults(w, TransferOneWay)
-	return newHeteroExec(p, w, opts)
+	return newHeteroExec(context.Background(), p, w, opts)
 }
 
 func TestExecCoalescedFlag(t *testing.T) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hetsim"
@@ -12,19 +13,35 @@ import (
 // selects the execution strategy and work-division parameters, and executes
 // the plan against the simulated platform while computing real cell values.
 func SolveHetero[T any](p *Problem[T], opts Options) (*Result[T], error) {
-	return solveSim(p, opts, modeHetero)
+	return solveSim(context.Background(), p, opts, modeHetero)
+}
+
+// SolveHeteroContext is SolveHetero honoring a context, polled once per
+// wavefront. A canceled solve returns a nil result and a *Canceled error.
+func SolveHeteroContext[T any](ctx context.Context, p *Problem[T], opts Options) (*Result[T], error) {
+	return solveSim(ctx, p, opts, modeHetero)
 }
 
 // SolveCPUOnly runs the multicore-CPU baseline on the simulated platform:
 // one parallel region per wavefront, no GPU, no transfers.
 func SolveCPUOnly[T any](p *Problem[T], opts Options) (*Result[T], error) {
-	return solveSim(p, opts, modeCPUOnly)
+	return solveSim(context.Background(), p, opts, modeCPUOnly)
+}
+
+// SolveCPUOnlyContext is SolveCPUOnly honoring a context.
+func SolveCPUOnlyContext[T any](ctx context.Context, p *Problem[T], opts Options) (*Result[T], error) {
+	return solveSim(ctx, p, opts, modeCPUOnly)
 }
 
 // SolveGPUOnly runs the pure-GPU baseline on the simulated platform: one
 // kernel per wavefront, plus input upload and result extraction.
 func SolveGPUOnly[T any](p *Problem[T], opts Options) (*Result[T], error) {
-	return solveSim(p, opts, modeGPUOnly)
+	return solveSim(context.Background(), p, opts, modeGPUOnly)
+}
+
+// SolveGPUOnlyContext is SolveGPUOnly honoring a context.
+func SolveGPUOnlyContext[T any](ctx context.Context, p *Problem[T], opts Options) (*Result[T], error) {
+	return solveSim(ctx, p, opts, modeGPUOnly)
 }
 
 type solveMode uint8
@@ -35,7 +52,18 @@ const (
 	modeGPUOnly
 )
 
-func solveSim[T any](p *Problem[T], opts Options, mode solveMode) (*Result[T], error) {
+func (m solveMode) String() string {
+	switch m {
+	case modeCPUOnly:
+		return "cpu-only"
+	case modeGPUOnly:
+		return "gpu-only"
+	default:
+		return "hetero"
+	}
+}
+
+func solveSim[T any](ctx context.Context, p *Problem[T], opts Options, mode solveMode) (res *Result[T], err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,29 +80,44 @@ func solveSim[T any](p *Problem[T], opts Options, mode solveMode) (*Result[T], e
 		return nil, fmt.Errorf("core: nil layout after defaulting")
 	}
 
-	e := newHeteroExec(cp, w, o)
+	if c := o.Collector; c != nil {
+		c.SolveStart(SolveInfo{
+			Solver: mode.String(), Problem: p.Name,
+			Pattern: Classify(p.Deps).String(), Executed: executed.String(),
+			Rows: cp.Rows, Cols: cp.Cols, Fronts: w.Fronts,
+		})
+		for t := 0; t < w.Fronts; t++ {
+			c.FrontSize(w.Size(t))
+		}
+		defer func() { c.SolveEnd(err) }()
+	}
+
+	e := newHeteroExec(ctx, cp, w, o)
 
 	switch mode {
 	case modeCPUOnly:
-		runDeviceOnly(e, hetsim.ResCPU)
+		err = runDeviceOnly(e, hetsim.ResCPU)
 	case modeGPUOnly:
-		runDeviceOnly(e, hetsim.ResGPU)
+		err = runDeviceOnly(e, hetsim.ResGPU)
 	default:
 		switch executed {
 		case AntiDiagonal:
-			runAntiDiagonal(e, o.TSwitch, o.TShare)
+			err = runAntiDiagonal(e, o.TSwitch, o.TShare)
 		case Horizontal:
-			runHorizontal(e, o.TShare)
+			err = runHorizontal(e, o.TShare)
 		case InvertedL:
-			runInvertedL(e, o.TSwitch, o.TShare)
+			err = runInvertedL(e, o.TSwitch, o.TShare)
 		case KnightMove:
-			runKnightMove(e, o.TSwitch, o.TShare)
+			err = runKnightMove(e, o.TSwitch, o.TShare)
 		default:
-			return nil, fmt.Errorf("core: no strategy for executed pattern %s", executed)
+			err = fmt.Errorf("core: no strategy for executed pattern %s", executed)
 		}
 	}
+	if err != nil {
+		return nil, err
+	}
 
-	res := &Result[T]{
+	res = &Result[T]{
 		Pattern:   Classify(p.Deps),
 		Executed:  executed,
 		Reduction: reduction,
@@ -84,6 +127,9 @@ func solveSim[T any](p *Problem[T], opts Options, mode solveMode) (*Result[T], e
 		Time:      e.sim.Makespan(),
 		Timeline:  e.sim.Timeline(),
 		Critical:  e.sim.CriticalPath(),
+	}
+	if c := o.Collector; c != nil {
+		emitTimelinePhases(c, res.Timeline)
 	}
 	if mode != modeHetero {
 		res.TSwitch, res.TShare = 0, 0
@@ -96,19 +142,26 @@ func solveSim[T any](p *Problem[T], opts Options, mode solveMode) (*Result[T], e
 
 // runDeviceOnly executes every wavefront on a single device: the pure-CPU
 // and pure-GPU baselines of the paper's figures.
-func runDeviceOnly[T any](e *heteroExec[T], dev hetsim.Resource) {
+func runDeviceOnly[T any](e *heteroExec[T], dev hetsim.Resource) error {
 	last := hetsim.NoOp
 	if dev == hetsim.ResGPU {
 		upload := e.uploadInput()
 		for t := 0; t < e.w.Fronts; t++ {
+			if e.canceled() {
+				return e.cancelErr("gpu-only", t)
+			}
 			last = e.gpuOp(t, 0, e.w.Size(t), "gpu:only", last, upload)
 		}
 		e.extract(e.w.Size(e.w.Fronts-1), last)
-		return
+		return nil
 	}
 	for t := 0; t < e.w.Fronts; t++ {
+		if e.canceled() {
+			return e.cancelErr("cpu-only", t)
+		}
 		last = e.cpuOp(t, 0, e.w.Size(t), "cpu:only", last)
 	}
+	return nil
 }
 
 // PreferredLayoutFor returns the coalescing-friendly layout the framework

@@ -15,7 +15,10 @@ import "repro/internal/hetsim"
 //     leftmost cell of the previous row -> GPU->CPU transfer;
 //   - both: two-way (case 2, pinned memory);
 //   - {N} only: the split line is never crossed and no transfer happens.
-func runHorizontal[T any](e *heteroExec[T], tShare int) {
+//
+// The solve context is polled once per row; an observed cancellation
+// aborts the plan and surfaces as *Canceled.
+func runHorizontal[T any](e *heteroExec[T], tShare int) error {
 	fronts := e.w.Fronts
 	cols := e.w.Cols
 	needH2D := e.p.Deps.Has(DepNW)
@@ -35,6 +38,9 @@ func runHorizontal[T any](e *heteroExec[T], tShare int) {
 	prevH2D, prevD2H := hetsim.NoOp, hetsim.NoOp
 
 	for t := 0; t < fronts; t++ {
+		if e.canceled() {
+			return e.cancelErr("hetero", t)
+		}
 		if cpuCount > 0 {
 			lastCPU = e.cpuOp(t, 0, cpuCount, "cpu:p1", lastCPU, prevD2H)
 		}
@@ -54,4 +60,5 @@ func runHorizontal[T any](e *heteroExec[T], tShare int) {
 	if gpuCount > 0 && lastGPU != hetsim.NoOp {
 		e.extract(gpuCount, lastGPU)
 	}
+	return nil
 }

@@ -16,7 +16,10 @@ import "repro/internal/hetsim"
 // transfer here reproduces the paper's stated scheme rather than exploiting
 // that. The framework's default is anyway to solve this class through
 // horizontal case-1, which §V-B measures as faster.
-func runInvertedL[T any](e *heteroExec[T], tSwitch, tShare int) {
+//
+// The solve context is polled once per front; an observed cancellation
+// aborts the plan and surfaces as *Canceled.
+func runInvertedL[T any](e *heteroExec[T], tSwitch, tShare int) error {
 	fronts := e.w.Fronts
 	tSwitch = clampTSwitch(tSwitch, 2*fronts) // phase 2 may cover everything
 	if tSwitch > fronts {
@@ -30,6 +33,9 @@ func runInvertedL[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	var lastGPUCells int
 	for t := 0; t < p2Start; t++ {
+		if e.canceled() {
+			return e.cancelErr("hetero", t)
+		}
 		size := e.w.Size(t)
 		cpuCount := tShare
 		if cpuCount < 0 {
@@ -61,10 +67,14 @@ func runInvertedL[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 2: CPU only over the shrinking tail.
 	for t := p2Start; t < fronts; t++ {
+		if e.canceled() {
+			return e.cancelErr("hetero", t)
+		}
 		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "cpu:p2", lastCPU, syncDown)
 	}
 
 	if tSwitch == 0 && lastGPU != hetsim.NoOp {
 		e.extract(e.w.Size(fronts-1), lastGPU)
 	}
+	return nil
 }

@@ -18,7 +18,10 @@ import (
 // and NW (front t-3) boundary cells, while the CPU's rightmost cell reads
 // the GPU's NE boundary cell (front t-1) — a two-way exchange through
 // pinned memory (Table II).
-func runKnightMove[T any](e *heteroExec[T], tSwitch, tShare int) {
+//
+// The solve context is polled once per front; an observed cancellation
+// aborts the plan and surfaces as *Canceled.
+func runKnightMove[T any](e *heteroExec[T], tSwitch, tShare int) error {
 	fronts := e.w.Fronts
 	tSwitch = clampTSwitch(tSwitch, fronts)
 	p2Start, p3Start := tSwitch, fronts-tSwitch
@@ -54,6 +57,9 @@ func runKnightMove[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 1: CPU only.
 	for t := 0; t < p2Start; t++ {
+		if e.canceled() {
+			return e.cancelErr("hetero", t)
+		}
 		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "cpu:p1", lastCPU)
 	}
 
@@ -72,6 +78,9 @@ func runKnightMove[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 2: split fronts with two-way boundary exchange.
 	for t := p2Start; t < p3Start; t++ {
+		if e.canceled() {
+			return e.cancelErr("hetero", t)
+		}
 		size := e.w.Size(t)
 		gpuCount, cpuCount := split(t)
 
@@ -117,12 +126,16 @@ func runKnightMove[T any](e *heteroExec[T], tSwitch, tShare int) {
 
 	// Phase 3: CPU only.
 	for t := p3Start; t < fronts; t++ {
+		if e.canceled() {
+			return e.cancelErr("hetero", t)
+		}
 		lastCPU = e.cpuOp(t, 0, e.w.Size(t), "cpu:p3", lastCPU, syncDown)
 	}
 
 	if tSwitch == 0 && lastGPU != hetsim.NoOp {
 		e.extract(e.w.Size(fronts-1), lastGPU)
 	}
+	return nil
 }
 
 // ceilDivInt returns ceil(a/b) for positive b and any a.

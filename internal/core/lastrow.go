@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // SolveLastRow computes only the final row of the DP table using a
 // two-row rolling buffer: O(cols) memory instead of O(rows*cols). Every
@@ -13,13 +16,23 @@ import "fmt"
 // problem-specific linear-space reconstructions like HirschbergLCS for
 // that.
 func SolveLastRow[T any](p *Problem[T]) ([]T, error) {
+	return SolveLastRowContext(context.Background(), p)
+}
+
+// SolveLastRowContext is SolveLastRow honoring a context, polled once per
+// row. A canceled solve returns a nil slice and a *Canceled error.
+func SolveLastRowContext[T any](ctx context.Context, p *Problem[T]) ([]T, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	done := ctxDone(ctx)
 	prev := make([]T, p.Cols)
 	cur := make([]T, p.Cols)
 	rd := rollingReader[T]{p: p, prev: prev, cur: cur}
 	for i := 0; i < p.Rows; i++ {
+		if isDone(done) {
+			return nil, canceledErr(ctx, "lastrow", i)
+		}
 		rd.row = i
 		for j := 0; j < p.Cols; j++ {
 			cur[j] = p.F(i, j, gatherNeighbors(p, rd, i, j))

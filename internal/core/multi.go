@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -47,6 +48,12 @@ func (r *MultiResult[T]) Duration() time.Duration { return r.Timeline.Makespan()
 // per device (CPU first); nil derives spans proportional to each device's
 // asymptotic throughput.
 func SolveHeteroMulti[T any](p *Problem[T], opts Options, accels []Accelerator, shares []int) (*MultiResult[T], error) {
+	return SolveHeteroMultiContext(context.Background(), p, opts, accels, shares)
+}
+
+// SolveHeteroMultiContext is SolveHeteroMulti honoring a context, polled
+// once per row. A canceled solve returns a nil result and a *Canceled error.
+func SolveHeteroMultiContext[T any](ctx context.Context, p *Problem[T], opts Options, accels []Accelerator, shares []int) (res *MultiResult[T], err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -81,12 +88,29 @@ func SolveHeteroMulti[T any](p *Problem[T], opts Options, accels []Accelerator, 
 		return nil, fmt.Errorf("core: shares sum to %d, want %d columns", total, cp.Cols)
 	}
 
-	e := newHeteroExec(cp, w, o)
-	runHorizontalMulti(e, accels, shares)
+	if c := o.Collector; c != nil {
+		c.SolveStart(SolveInfo{
+			Solver: "multi", Problem: p.Name,
+			Pattern: Classify(p.Deps).String(), Executed: Horizontal.String(),
+			Rows: cp.Rows, Cols: cp.Cols, Fronts: w.Fronts,
+		})
+		for t := 0; t < w.Fronts; t++ {
+			c.FrontSize(w.Size(t))
+		}
+		defer func() { c.SolveEnd(err) }()
+	}
 
-	res := &MultiResult[T]{
+	e := newHeteroExec(ctx, cp, w, o)
+	if err = runHorizontalMulti(e, accels, shares); err != nil {
+		return nil, err
+	}
+
+	res = &MultiResult[T]{
 		Shares:   shares,
 		Timeline: e.sim.Timeline(),
+	}
+	if c := o.Collector; c != nil {
+		emitTimelinePhases(c, res.Timeline)
 	}
 	if e.g != nil {
 		res.Grid = undo(e.g)
@@ -153,8 +177,10 @@ func DefaultMultiShares(cpu hetsim.CPUModel, accels []Accelerator, cols int) []i
 	return shares
 }
 
-// runHorizontalMulti is the n-device generalization of runHorizontal.
-func runHorizontalMulti[T any](e *heteroExec[T], accels []Accelerator, shares []int) {
+// runHorizontalMulti is the n-device generalization of runHorizontal. The
+// solve context is polled once per row; an observed cancellation aborts the
+// plan and surfaces as *Canceled.
+func runHorizontalMulti[T any](e *heteroExec[T], accels []Accelerator, shares []int) error {
 	needRight := e.p.Deps.Has(DepNW) // boundary values flow left -> right
 	needLeft := e.p.Deps.Has(DepNE)  // boundary values flow right -> left
 
@@ -249,6 +275,9 @@ func runHorizontalMulti[T any](e *heteroExec[T], accels []Accelerator, shares []
 	newLeft := make([]hetsim.OpID, nDev)
 	ops := make([]hetsim.OpID, nDev)
 	for row := 0; row < e.w.Fronts; row++ {
+		if e.canceled() {
+			return e.cancelErr("multi", row)
+		}
 		for d := 0; d < nDev; d++ {
 			newRight[d], newLeft[d] = hetsim.NoOp, hetsim.NoOp
 		}
@@ -288,4 +317,5 @@ func runHorizontalMulti[T any](e *heteroExec[T], accels []Accelerator, shares []
 			e.bulk(hetsim.ResCopyD2H, shares[d]*e.bpc, "d2h:result:"+accels[d-1].Name, last[d])
 		}
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -19,17 +20,28 @@ import (
 // Horizontal-pattern problems, per-row neighbour handoff). See
 // SolveParallelOpt for the tuning knobs.
 //
-// workers <= 0 selects runtime.GOMAXPROCS(0).
+// workers <= 0 selects min(runtime.GOMAXPROCS(0), runtime.NumCPU()), the
+// documented NativeWorkers default.
 func SolveParallel[T any](p *Problem[T], workers int) (*table.Grid[T], error) {
-	return solveParallelPool(p, Options{NativeWorkers: workers})
+	return solveParallelPool(context.Background(), p, Options{NativeWorkers: workers})
 }
 
 // SolveParallelOpt is SolveParallel with the native-runtime knobs of
-// Options exposed: NativeWorkers, NativeChunk, and NativeNoLookahead. All
-// other Options fields are ignored — the native executor computes real
-// values on the host and involves no simulated platform.
+// Options exposed: NativeWorkers, NativeChunk, NativeNoLookahead, and
+// Collector. All other Options fields are ignored — the native executor
+// computes real values on the host and involves no simulated platform.
 func SolveParallelOpt[T any](p *Problem[T], opts Options) (*table.Grid[T], error) {
-	return solveParallelPool(p, opts)
+	return solveParallelPool(context.Background(), p, opts)
+}
+
+// SolveParallelContext is SolveParallelOpt honoring a context: the pool
+// polls ctx at chunk granularity and a cancel or deadline expiry shuts the
+// workers down promptly. The interrupted solve returns a nil grid and a
+// *Canceled error (unwrapping to the context's cause); the partially
+// filled table is discarded. An uncancellable context costs nothing on the
+// hot path.
+func SolveParallelContext[T any](ctx context.Context, p *Problem[T], opts Options) (*table.Grid[T], error) {
+	return solveParallelPool(ctx, p, opts)
 }
 
 // SolveParallelSpawn is the pre-pool native executor, kept as the

@@ -55,8 +55,10 @@ type Options struct {
 	SkipCompute bool
 
 	// NativeWorkers is the worker count of the native pool runtime
-	// (SolveParallel / SolveParallelOpt). Zero or negative selects
-	// runtime.GOMAXPROCS(0).
+	// (SolveParallel / SolveParallelOpt). Zero or negative selects the
+	// default min(runtime.GOMAXPROCS(0), runtime.NumCPU()): the pool is
+	// compute-bound, so workers beyond the physical cores only lengthen
+	// the per-front barrier.
 	NativeWorkers int
 
 	// NativeChunk is the number of cells a pool worker claims per atomic
@@ -70,6 +72,12 @@ type Options struct {
 	// Horizontal-pattern problems, forcing the global epoch barrier between
 	// rows. The ablation knob for the barrier-vs-handoff comparison.
 	NativeNoLookahead bool
+
+	// Collector receives runtime observability events (phase wall times,
+	// front-size histogram, pool worker utilization and chunk claims,
+	// simulated transfer volumes). Nil — the default — disables all
+	// instrumentation at zero overhead.
+	Collector Collector
 }
 
 // withDefaults resolves nil/auto fields against a problem's executed

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/table"
 )
@@ -34,11 +36,42 @@ import (
 //     row, so synchronization is O(1) point-to-point waits per row — the
 //     native analogue of the paper's pipelined one-way transfers
 //     (runBands).
+//
+// Cancellation: the runtime polls the context's done channel at chunk
+// granularity (a non-blocking receive per cursor bump, skipped entirely for
+// uncancellable contexts). A worker that observes cancellation stops
+// claiming chunks and arrives at the barrier as usual; the last arriver
+// sees the flag, closes the gate with the stop bit set, and every worker
+// exits promptly — the barrier protocol itself is the shutdown path, so no
+// goroutine can be left parked. The interrupted solve returns *Canceled.
+//
+// Instrumentation: with a non-nil Collector the pool counts chunk claims,
+// cells, and kernel time per worker (accumulated in worker-local state and
+// reported once after the join). With a nil Collector the only residue is
+// one nil test per chunk claim.
 
 // defaultNativeChunk is the number of cells a worker claims per cursor
 // bump. It doubles as the serial cutoff: fronts that fit in one chunk run
 // inline on the advancing worker.
 const defaultNativeChunk = 512
+
+// defaultPoolWorkers resolves the pool worker count: the native runtime is
+// compute-bound, so the default is capped at the physical core count —
+// workers beyond the hardware only lengthen the per-front barrier (every
+// extra worker is one more scheduler round-trip per epoch with zero added
+// throughput). This is the documented Options.NativeWorkers default:
+// min(GOMAXPROCS, NumCPU).
+func defaultPoolWorkers() int {
+	return min(runtime.GOMAXPROCS(0), runtime.NumCPU())
+}
+
+// poolWorkerStat is one worker's instrumentation state, local to the worker
+// during the solve (no sharing, no atomics) and reported after the join.
+type poolWorkerStat struct {
+	chunks int
+	cells  int
+	busy   time.Duration
+}
 
 // workerPool is the reusable barrier state shared by the pool workers.
 // Front-describing fields (front, size) are written only by the advancing
@@ -50,11 +83,15 @@ type workerPool struct {
 	sizeOf  func(t int) int
 	run     func(t, lo, hi int)
 
+	done  <-chan struct{} // context done channel; nil = uncancellable
+	stats []poolWorkerStat // per-worker instrumentation; nil = collector off
+
 	front int   // current front index
 	size  int64 // current front size
 
 	cursor    atomic.Int64  // next unclaimed cell of the current front
 	remaining atomic.Int64  // workers still computing the current front
+	canceled  atomic.Bool   // set by any worker that observes ctx done
 	gate      chan struct{} // closed to release parked workers into the next epoch
 	stop      bool          // set by the advancer before the final gate close
 }
@@ -63,21 +100,30 @@ type workerPool struct {
 // persistent pool: size(t) is the cell count of front t and run(t, lo, hi)
 // computes its cells [lo, hi). run must be safe for concurrent calls on
 // disjoint ranges of one front. workers <= 1 degenerates to a serial sweep
-// with no goroutines; chunk <= 0 selects defaultNativeChunk.
-func runWavefronts(workers, chunk, fronts int, size func(t int) int, run func(t, lo, hi int)) {
+// with no goroutines; chunk <= 0 selects defaultNativeChunk; workers <= 0
+// selects the documented default min(GOMAXPROCS, NumCPU).
+//
+// On cancellation runWavefronts returns *Canceled (solver names the
+// interrupted executor in the error); the computed prefix of the table is
+// left in place but the caller must treat the solve as failed.
+func runWavefronts(ctx context.Context, coll Collector, solver string, workers, chunk, fronts int, size func(t int) int, run func(t, lo, hi int)) error {
 	if fronts <= 0 {
-		return
+		return nil
 	}
 	if chunk <= 0 {
 		chunk = defaultNativeChunk
 	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultPoolWorkers()
 	}
+	done := ctxDone(ctx)
 	// A front is worth parallelizing only when it exceeds one chunk, so a
 	// problem whose widest front fits in a chunk never starts a worker.
 	t := 0
 	for ; t < fronts; t++ {
+		if isDone(done) {
+			return canceledErr(ctx, solver, t)
+		}
 		s := size(t)
 		if workers > 1 && s > chunk {
 			break
@@ -85,7 +131,7 @@ func runWavefronts(workers, chunk, fronts int, size func(t int) int, run func(t,
 		run(t, 0, s)
 	}
 	if t == fronts {
-		return
+		return nil
 	}
 
 	p := &workerPool{
@@ -94,33 +140,74 @@ func runWavefronts(workers, chunk, fronts int, size func(t int) int, run func(t,
 		fronts:  fronts,
 		sizeOf:  size,
 		run:     run,
+		done:    done,
 		front:   t,
 		size:    int64(size(t)),
 		gate:    make(chan struct{}),
 	}
+	if coll != nil {
+		p.stats = make([]poolWorkerStat, workers)
+	}
 	p.remaining.Store(int64(workers))
 
+	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for i := 1; i < workers; i++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			p.work()
-		}()
+			p.work(w)
+		}(i)
 	}
-	p.work() // the caller participates as worker 0
+	p.work(0) // the caller participates as worker 0
 	wg.Wait()
+
+	if coll != nil {
+		wall := time.Since(start)
+		for w := range p.stats {
+			st := &p.stats[w]
+			coll.WorkerStats(WorkerStats{
+				Worker: w, Chunks: st.chunks, Cells: st.cells,
+				Busy: st.busy, Wall: wall,
+			})
+		}
+	}
+	if p.canceled.Load() {
+		return canceledErr(ctx, solver, p.front)
+	}
+	return nil
 }
 
 // work is the pool worker loop: claim chunks, arrive at the barrier, and
 // either advance the epoch (last arriver) or park on the gate.
-func (p *workerPool) work() {
+func (p *workerPool) work(w int) {
+	var st *poolWorkerStat
+	if p.stats != nil {
+		st = &p.stats[w]
+	}
+	runSpan := func(t, lo, hi int) {
+		if st == nil {
+			p.run(t, lo, hi)
+			return
+		}
+		t0 := time.Now()
+		p.run(t, lo, hi)
+		st.busy += time.Since(t0)
+		st.chunks++
+		st.cells += hi - lo
+	}
 	for {
 		// Claim chunks of the current front until the cursor runs past its
 		// size. Add returns the cursor after the bump, so lo is the start
-		// of the span this worker just claimed.
+		// of the span this worker just claimed. A canceled worker stops
+		// claiming and falls through to the barrier — the shutdown rides
+		// the normal epoch protocol.
 		size := p.size
-		for {
+		for !p.canceled.Load() {
+			if isDone(p.done) {
+				p.canceled.Store(true)
+				break
+			}
 			lo := p.cursor.Add(p.chunk) - p.chunk
 			if lo >= size {
 				break
@@ -129,7 +216,7 @@ func (p *workerPool) work() {
 			if hi > size {
 				hi = size
 			}
-			p.run(p.front, int(lo), int(hi))
+			runSpan(p.front, int(lo), int(hi))
 		}
 
 		// Capture the gate before announcing arrival: once remaining hits
@@ -145,16 +232,31 @@ func (p *workerPool) work() {
 			continue
 		}
 
-		// Last arriver: advance. Fronts at or below one chunk are executed
-		// inline here — the others are parked, so no synchronization is
-		// needed — until a front wide enough to share shows up.
+		// Last arriver: advance. A pending cancellation terminates the pool
+		// here, with every other worker parked and p.front recording the
+		// first front not known to be fully computed. Otherwise fronts at
+		// or below one chunk are executed inline — the others are parked,
+		// so no synchronization is needed — until a front wide enough to
+		// share shows up.
+		if p.canceled.Load() {
+			p.stop = true
+			close(gate)
+			return
+		}
 		t := p.front + 1
 		for ; t < p.fronts; t++ {
+			if isDone(p.done) {
+				p.canceled.Store(true)
+				p.front = t
+				p.stop = true
+				close(gate)
+				return
+			}
 			s := p.sizeOf(t)
 			if s > int(p.chunk) {
 				break
 			}
-			p.run(t, 0, s)
+			runSpan(t, 0, s)
 		}
 		if t == p.fronts {
 			p.stop = true
@@ -182,15 +284,25 @@ func (p *workerPool) work() {
 // channel communication provides the happens-before edges for the boundary
 // cells. With neither flag set ({N}-only problems) workers run completely
 // independently.
-func runBands(workers, rows, cols int, needLeft, needRight bool, run func(t, lo, hi int)) {
+//
+// Cancellation: every token wait also selects on the context's done
+// channel, and each worker polls it once per row, so a canceled solve
+// unwinds without any worker blocking on a token its neighbour will never
+// send. The lowest unfinished row across the workers is reported as
+// Canceled.Front.
+func runBands(ctx context.Context, workers, rows, cols int, needLeft, needRight bool, run func(t, lo, hi int)) error {
 	if workers > cols {
 		workers = cols
 	}
+	done := ctxDone(ctx)
 	if workers <= 1 {
 		for t := 0; t < rows; t++ {
+			if isDone(done) {
+				return canceledErr(ctx, "bands", t)
+			}
 			run(t, 0, cols)
 		}
-		return
+		return nil
 	}
 	// fromLeft[w] carries tokens from worker w-1 to w; fromRight[w] from
 	// w+1 to w. Only the channels a worker will consume are allocated.
@@ -206,34 +318,67 @@ func runBands(workers, rows, cols int, needLeft, needRight bool, run func(t, lo,
 	}
 	bandStart := func(w int) int { return w * cols / workers }
 
+	// lowRow tracks min(first unfinished row) across canceled workers.
+	var lowRow atomic.Int64
+	lowRow.Store(int64(rows))
+
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			bandWork(w, workers, rows, bandStart(w), bandStart(w+1), needLeft, needRight, fromLeft, fromRight, run)
+			bandWork(w, workers, rows, bandStart(w), bandStart(w+1), needLeft, needRight, fromLeft, fromRight, done, &lowRow, run)
 		}(w)
 	}
-	bandWork(0, workers, rows, bandStart(0), bandStart(1), needLeft, needRight, fromLeft, fromRight, run)
+	bandWork(0, workers, rows, bandStart(0), bandStart(1), needLeft, needRight, fromLeft, fromRight, done, &lowRow, run)
 	wg.Wait()
+
+	if low := lowRow.Load(); low < int64(rows) {
+		return canceledErr(ctx, "bands", int(low))
+	}
+	return nil
 }
 
 // bandWork sweeps one worker's column band down all rows, exchanging epoch
-// tokens with its neighbours.
-func bandWork(w, workers, rows, lo, hi int, needLeft, needRight bool, fromLeft, fromRight []chan struct{}, run func(t, lo, hi int)) {
+// tokens with its neighbours. On cancellation it records its first
+// unfinished row into lowRow and returns.
+func bandWork(w, workers, rows, lo, hi int, needLeft, needRight bool, fromLeft, fromRight []chan struct{}, done <-chan struct{}, lowRow *atomic.Int64, run func(t, lo, hi int)) {
 	waitLeft := needLeft && w > 0
 	waitRight := needRight && w < workers-1
 	sendRight := needLeft && w < workers-1
 	sendLeft := needRight && w > 0
+	abort := func(t int) {
+		// CAS-min: remember the lowest unfinished row across all workers.
+		for {
+			cur := lowRow.Load()
+			if int64(t) >= cur || lowRow.CompareAndSwap(cur, int64(t)) {
+				return
+			}
+		}
+	}
 	for t := 0; t < rows; t++ {
+		if isDone(done) {
+			abort(t)
+			return
+		}
 		if t > 0 {
 			// One token per row: t tokens consumed means the neighbour has
 			// finished rows [0, t), covering every NW/NE read of row t.
 			if waitLeft {
-				<-fromLeft[w]
+				select {
+				case <-fromLeft[w]:
+				case <-done:
+					abort(t)
+					return
+				}
 			}
 			if waitRight {
-				<-fromRight[w]
+				select {
+				case <-fromRight[w]:
+				case <-done:
+					abort(t)
+					return
+				}
 			}
 		}
 		run(t, lo, hi)
@@ -332,13 +477,17 @@ func (k *flatKernel[T]) edgeCell(i, j, base int) {
 // serial schedule (dependency-safe for every contributing set, as in
 // Solve). The single-worker degenerate case of the pool uses it: wavefront
 // order buys nothing without concurrency and walks the row-major slice with
-// a cols-sized stride.
-func (k *flatKernel[T]) fillRowMajor() {
+// a cols-sized stride. Cancellation is polled once per row.
+func (k *flatKernel[T]) fillRowMajor(done <-chan struct{}) (int, bool) {
 	for i := 0; i < k.rows; i++ {
+		if isDone(done) {
+			return i, false
+		}
 		for j := 0; j < k.cols; j++ {
 			k.cell(i, j)
 		}
 	}
+	return k.rows, true
 }
 
 // frontRunner builds the run(t, lo, hi) kernel for a canonical wavefront
@@ -398,41 +547,69 @@ func frontRunner[T any](p *Problem[T], w Wavefronts, g *table.Grid[T]) func(t, l
 // solveParallelPool is the pool-backed native solve shared by SolveParallel
 // and SolveParallelOpt: canonicalize, build the flat kernel, and drive it
 // with the band runtime (Horizontal, unless disabled) or the barrier pool.
-func solveParallelPool[T any](p *Problem[T], opts Options) (*table.Grid[T], error) {
+func solveParallelPool[T any](ctx context.Context, p *Problem[T], opts Options) (grid *table.Grid[T], err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	workers := opts.NativeWorkers
 	if workers <= 0 {
-		// Cap the default at the physical core count: the pool is
-		// compute-bound, so workers beyond the hardware only lengthen the
-		// per-front barrier (every extra worker is one more scheduler
-		// round-trip per epoch with zero added throughput).
-		workers = min(runtime.GOMAXPROCS(0), runtime.NumCPU())
+		workers = defaultPoolWorkers()
 	}
 	cp, canonical, _, undo := canonicalize(p)
 	w := NewWavefronts(canonical, cp.Rows, cp.Cols)
 	g := table.NewGrid[T](cp.Rows, cp.Cols, nil)
+
+	coll := opts.Collector
+	useBands := canonical == Horizontal && !opts.NativeNoLookahead && workers > 1
+	var start time.Time
+	if coll != nil {
+		solver := "pool"
+		if useBands {
+			solver = "bands"
+		} else if workers == 1 {
+			solver = "sequential"
+		}
+		coll.SolveStart(SolveInfo{
+			Solver: solver, Problem: p.Name,
+			Pattern: Classify(p.Deps).String(), Executed: canonical.String(),
+			Rows: cp.Rows, Cols: cp.Cols, Fronts: w.Fronts, Workers: workers,
+		})
+		for t := 0; t < w.Fronts; t++ {
+			coll.FrontSize(w.Size(t))
+		}
+		start = time.Now()
+		defer func() {
+			coll.Phase("native", time.Since(start))
+			coll.SolveEnd(err)
+		}()
+	}
 
 	if workers == 1 {
 		if flat := g.RowMajorData(); flat != nil {
 			// Serial degenerate case: wavefront order buys nothing without
 			// concurrency, so sweep row-major (cache-optimal, and
 			// dependency-safe for every contributing set, as in Solve).
-			newFlatKernel(cp, flat, cp.Rows, cp.Cols).fillRowMajor()
+			row, ok := newFlatKernel(cp, flat, cp.Rows, cp.Cols).fillRowMajor(ctxDone(ctx))
+			if !ok {
+				return nil, canceledErr(ctx, "sequential", row)
+			}
 			return undo(g), nil
 		}
 	}
 
 	run := frontRunner(cp, w, g)
-	if canonical == Horizontal && !opts.NativeNoLookahead && workers > 1 {
+	if useBands {
 		// Constant-width fronts with no W dependency: column bands with
 		// point-to-point neighbour handoff instead of a global barrier.
 		needLeft := cp.Deps.Has(DepNW)
 		needRight := cp.Deps.Has(DepNE)
-		runBands(workers, w.Fronts, cp.Cols, needLeft, needRight, run)
+		if err := runBands(ctx, workers, w.Fronts, cp.Cols, needLeft, needRight, run); err != nil {
+			return nil, err
+		}
 		return undo(g), nil
 	}
-	runWavefronts(workers, opts.NativeChunk, w.Fronts, w.Size, run)
+	if err := runWavefronts(ctx, coll, "pool", workers, opts.NativeChunk, w.Fronts, w.Size, run); err != nil {
+		return nil, err
+	}
 	return undo(g), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -149,7 +150,7 @@ func TestRunWavefrontsCoverage(t *testing.T) {
 			for t := range sizes {
 				seen[t] = make([]bool, sizes[t])
 			}
-			runWavefronts(workers, chunk, len(sizes), func(t int) int { return sizes[t] },
+			runWavefronts(context.Background(), nil, "pool", workers, chunk, len(sizes), func(t int) int { return sizes[t] },
 				func(ft, lo, hi int) {
 					mu.Lock()
 					for k := lo; k < hi; k++ {

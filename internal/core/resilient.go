@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/table"
@@ -28,6 +29,12 @@ type FaultFunc[T any] func(replica, i, j int, v T) T
 // second result counts cells at which at least one replica disagreed with
 // the majority (detected-and-corrected faults).
 func SolveResilient[T comparable](p *Problem[T], replicas int, fault FaultFunc[T]) (*table.Grid[T], int, error) {
+	return SolveResilientContext(context.Background(), p, replicas, fault)
+}
+
+// SolveResilientContext is SolveResilient honoring a context, polled once
+// per row. A canceled solve returns a nil grid and a *Canceled error.
+func SolveResilientContext[T comparable](ctx context.Context, p *Problem[T], replicas int, fault FaultFunc[T]) (*table.Grid[T], int, error) {
 	if err := p.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -37,6 +44,7 @@ func SolveResilient[T comparable](p *Problem[T], replicas int, fault FaultFunc[T
 	if fault == nil {
 		fault = func(_, _, _ int, v T) T { return v }
 	}
+	done := ctxDone(ctx)
 	grids := make([]*table.Grid[T], replicas)
 	for r := range grids {
 		grids[r] = table.NewGrid[T](p.Rows, p.Cols, nil)
@@ -44,6 +52,9 @@ func SolveResilient[T comparable](p *Problem[T], replicas int, fault FaultFunc[T
 	rd := majorityReader[T]{grids: grids}
 	corrected := 0
 	for i := 0; i < p.Rows; i++ {
+		if isDone(done) {
+			return nil, 0, canceledErr(ctx, "resilient", i)
+		}
 		for j := 0; j < p.Cols; j++ {
 			v := p.F(i, j, gatherNeighbors(p, rd, i, j))
 			for r := range grids {

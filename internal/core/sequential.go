@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/table"
@@ -18,15 +19,18 @@ func (r gridReader[T]) inBounds(i, j int) bool { return r.g.InBounds(i, j) }
 // row, and the other three lie on the previous row. This is the reference
 // implementation every other solver is tested against.
 func Solve[T any](p *Problem[T]) (*table.Grid[T], error) {
+	return SolveContext(context.Background(), p)
+}
+
+// SolveContext is Solve honoring a context, polled once per row. A
+// canceled solve returns a nil grid and a *Canceled error.
+func SolveContext[T any](ctx context.Context, p *Problem[T]) (*table.Grid[T], error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	g := table.NewGrid[T](p.Rows, p.Cols, nil)
-	rd := gridReader[T]{g}
-	for i := 0; i < p.Rows; i++ {
-		for j := 0; j < p.Cols; j++ {
-			g.Set(i, j, p.F(i, j, gatherNeighbors(p, rd, i, j)))
-		}
+	if err := fillRowMajorInto(ctx, p, g); err != nil {
+		return nil, err
 	}
 	return g, nil
 }
@@ -41,8 +45,18 @@ func SolveInto[T any](p *Problem[T], g *table.Grid[T]) error {
 		return fmt.Errorf("core: grid %dx%d does not match problem %dx%d",
 			g.Rows(), g.Cols(), p.Rows, p.Cols)
 	}
+	return fillRowMajorInto(context.Background(), p, g)
+}
+
+// fillRowMajorInto is the shared row-major sweep of the sequential solvers,
+// polling the context once per row.
+func fillRowMajorInto[T any](ctx context.Context, p *Problem[T], g *table.Grid[T]) error {
+	done := ctxDone(ctx)
 	rd := gridReader[T]{g}
 	for i := 0; i < p.Rows; i++ {
+		if isDone(done) {
+			return canceledErr(ctx, "sequential", i)
+		}
 		for j := 0; j < p.Cols; j++ {
 			g.Set(i, j, p.F(i, j, gatherNeighbors(p, rd, i, j)))
 		}

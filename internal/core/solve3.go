@@ -1,7 +1,7 @@
 package core
 
 import (
-	"runtime"
+	"context"
 	"time"
 
 	"repro/internal/hetsim"
@@ -12,11 +12,21 @@ import (
 // dependency-safe for every subset of the seven predecessor corners (no
 // offset has a positive component).
 func Solve3[T any](p *Problem3[T]) (*table.Grid3[T], error) {
+	return Solve3Context(context.Background(), p)
+}
+
+// Solve3Context is Solve3 honoring a context, polled once per i-slab. A
+// canceled solve returns a nil grid and a *Canceled error.
+func Solve3Context[T any](ctx context.Context, p *Problem3[T]) (*table.Grid3[T], error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	done := ctxDone(ctx)
 	g := table.NewGrid3[T](p.NX, p.NY, p.NZ, nil)
 	for i := 0; i < p.NX; i++ {
+		if isDone(done) {
+			return nil, canceledErr(ctx, "sequential3", i)
+		}
 		for j := 0; j < p.NY; j++ {
 			for k := 0; k < p.NZ; k++ {
 				g.Set(i, j, k, p.F(i, j, k, gather3(p, g, i, j, k)))
@@ -53,22 +63,32 @@ func forEachPlaneCell[T any](p *Problem3[T], s, lo, hi int, fn func(i, j, k int)
 // planes: all cells of a plane are mutually independent for every
 // contributing set (each predecessor lowers i+j+k by at least 1).
 func SolveParallel3[T any](p *Problem3[T], workers int) (*table.Grid3[T], error) {
+	return SolveParallel3Context(context.Background(), p, workers)
+}
+
+// SolveParallel3Context is SolveParallel3 honoring a context, polled by the
+// pool once per chunk claim. A canceled solve returns a nil grid and a
+// *Canceled error.
+func SolveParallel3Context[T any](ctx context.Context, p *Problem3[T], workers int) (*table.Grid3[T], error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultPoolWorkers()
 	}
 	g := table.NewGrid3[T](p.NX, p.NY, p.NZ, nil)
 	// Planes grow and shrink like 2-D anti-diagonals; the pool runtime's
 	// serial cutoff keeps the small end planes on the advancing worker.
-	runWavefronts(workers, 512, p.Planes(), func(s int) int {
+	err := runWavefronts(ctx, nil, "pool3", workers, 512, p.Planes(), func(s int) int {
 		return table.PlaneSize(p.NX, p.NY, p.NZ, s)
 	}, func(s, lo, hi int) {
 		forEachPlaneCell(p, s, lo, hi, func(i, j, k int) {
 			g.Set(i, j, k, p.F(i, j, k, gather3(p, g, i, j, k)))
 		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
@@ -91,20 +111,36 @@ func (r *Result3[T]) Duration() time.Duration { return r.Timeline.Makespan() }
 // GPU cells and the boundary traffic is strictly one-way CPU->GPU.
 // The simulated kernels assume the plane-major layout (coalesced fronts).
 func SolveHetero3[T any](p *Problem3[T], opts Options) (*Result3[T], error) {
-	return solveSim3(p, opts, modeHetero)
+	return solveSim3(context.Background(), p, opts, modeHetero)
+}
+
+// SolveHetero3Context is SolveHetero3 honoring a context, polled once per
+// plane. A canceled solve returns a nil result and a *Canceled error.
+func SolveHetero3Context[T any](ctx context.Context, p *Problem3[T], opts Options) (*Result3[T], error) {
+	return solveSim3(ctx, p, opts, modeHetero)
 }
 
 // SolveCPUOnly3 is the 3-D multicore baseline.
 func SolveCPUOnly3[T any](p *Problem3[T], opts Options) (*Result3[T], error) {
-	return solveSim3(p, opts, modeCPUOnly)
+	return solveSim3(context.Background(), p, opts, modeCPUOnly)
+}
+
+// SolveCPUOnly3Context is SolveCPUOnly3 honoring a context.
+func SolveCPUOnly3Context[T any](ctx context.Context, p *Problem3[T], opts Options) (*Result3[T], error) {
+	return solveSim3(ctx, p, opts, modeCPUOnly)
 }
 
 // SolveGPUOnly3 is the 3-D pure-accelerator baseline.
 func SolveGPUOnly3[T any](p *Problem3[T], opts Options) (*Result3[T], error) {
-	return solveSim3(p, opts, modeGPUOnly)
+	return solveSim3(context.Background(), p, opts, modeGPUOnly)
 }
 
-func solveSim3[T any](p *Problem3[T], opts Options, mode solveMode) (*Result3[T], error) {
+// SolveGPUOnly3Context is SolveGPUOnly3 honoring a context.
+func SolveGPUOnly3Context[T any](ctx context.Context, p *Problem3[T], opts Options) (*Result3[T], error) {
+	return solveSim3(ctx, p, opts, modeGPUOnly)
+}
+
+func solveSim3[T any](ctx context.Context, p *Problem3[T], opts Options, mode solveMode) (res *Result3[T], err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -175,6 +211,20 @@ func solveSim3[T any](p *Problem3[T], opts Options, mode solveMode) (*Result3[T]
 	sim := hetsim.NewSim(opts.Platform)
 	bpc := p.bytesPerCell()
 
+	done := ctxDone(ctx)
+	solver := mode.String() + "-3d"
+	coll := opts.Collector
+	if coll != nil {
+		coll.SolveStart(SolveInfo{
+			Solver: solver, Problem: p.Name,
+			Rows: p.NX, Cols: p.NY * p.NZ, Fronts: planes,
+		})
+		for s := 0; s < planes; s++ {
+			coll.FrontSize(planeSize(s))
+		}
+		defer func() { coll.SolveEnd(err) }()
+	}
+
 	compute := func(s, lo, hi int) {
 		if g == nil {
 			return
@@ -212,11 +262,17 @@ func solveSim3[T any](p *Problem3[T], opts Options, mode solveMode) (*Result3[T]
 	case modeCPUOnly:
 		last := hetsim.NoOp
 		for s := 0; s < planes; s++ {
+			if isDone(done) {
+				return nil, canceledErr(ctx, solver, s)
+			}
 			last = cpuOp(s, 0, planeSize(s), last)
 		}
 	case modeGPUOnly:
 		upload := hetsim.NoOp
 		if p.InputBytes > 0 {
+			if coll != nil {
+				coll.Transfer(TransferStats{ToDevice: true, Bytes: p.InputBytes})
+			}
 			upload = sim.Submit(hetsim.Op{
 				Resource: hetsim.ResCopyH2D, Kind: hetsim.OpTransfer,
 				Duration: opts.Platform.Bus.TransferDuration(p.InputBytes, false),
@@ -225,6 +281,9 @@ func solveSim3[T any](p *Problem3[T], opts Options, mode solveMode) (*Result3[T]
 		}
 		last := hetsim.NoOp
 		for s := 0; s < planes; s++ {
+			if isDone(done) {
+				return nil, canceledErr(ctx, solver, s)
+			}
 			last = gpuOp(s, 0, planeSize(s), last, upload)
 		}
 	default:
@@ -234,6 +293,9 @@ func solveSim3[T any](p *Problem3[T], opts Options, mode solveMode) (*Result3[T]
 		prevBoundary := hetsim.NoOp
 		syncUp, syncDown := hetsim.NoOp, hetsim.NoOp
 		for s := 0; s < planes; s++ {
+			if isDone(done) {
+				return nil, canceledErr(ctx, solver, s)
+			}
 			size := planeSize(s)
 			switch {
 			case s < p2Start || s >= p3Start:
@@ -241,6 +303,9 @@ func solveSim3[T any](p *Problem3[T], opts Options, mode solveMode) (*Result3[T]
 					// Phase 2 -> 3: pull the GPU parts of the last two
 					// planes down for the CPU tail.
 					bytes := (planeSize(s-1) + planeSize(max(0, s-2))) * bpc
+					if coll != nil {
+						coll.Transfer(TransferStats{Bytes: bytes})
+					}
 					syncDown = sim.Submit(hetsim.Op{
 						Resource: hetsim.ResCopyD2H, Kind: hetsim.OpTransfer,
 						Duration: opts.Platform.Bus.TransferDuration(bytes, false),
@@ -251,6 +316,9 @@ func solveSim3[T any](p *Problem3[T], opts Options, mode solveMode) (*Result3[T]
 			default:
 				if s == p2Start && s > 0 {
 					bytes := (planeSize(s-1) + planeSize(max(0, s-2))) * bpc
+					if coll != nil {
+						coll.Transfer(TransferStats{ToDevice: true, Bytes: bytes})
+					}
 					syncUp = sim.Submit(hetsim.Op{
 						Resource: hetsim.ResCopyH2D, Kind: hetsim.OpTransfer,
 						Duration: opts.Platform.Bus.TransferDuration(bytes, false),
@@ -265,6 +333,9 @@ func solveSim3[T any](p *Problem3[T], opts Options, mode solveMode) (*Result3[T]
 					lastGPU = gpuOp(s, nCPU, size, lastGPU, syncUp, prevBoundary)
 				}
 				if nCPU > 0 && nCPU < size {
+					if coll != nil {
+						coll.Transfer(TransferStats{Boundary: true, ToDevice: true, Bytes: bpc, Cells: 1})
+					}
 					prevBoundary = sim.Submit(hetsim.Op{
 						Resource: hetsim.ResCopyH2D, Kind: hetsim.OpTransfer,
 						Duration: opts.Platform.Bus.TransferDuration(bpc, true),
@@ -275,10 +346,14 @@ func solveSim3[T any](p *Problem3[T], opts Options, mode solveMode) (*Result3[T]
 		}
 	}
 
-	return &Result3[T]{
+	res = &Result3[T]{
 		Grid:     g,
 		TSwitch:  opts.TSwitch,
 		TShare:   opts.TShare,
 		Timeline: sim.Timeline(),
-	}, nil
+	}
+	if coll != nil {
+		emitTimelinePhases(coll, res.Timeline)
+	}
+	return res, nil
 }

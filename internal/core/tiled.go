@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 
 	"repro/internal/table"
 )
@@ -27,14 +27,23 @@ import (
 // barrier-synchronizes every cell wavefront, while SolveTiled barriers once
 // per block wavefront and touches memory block by block.
 func SolveTiled[T any](p *Problem[T], tile, workers int) (*table.Grid[T], error) {
+	return SolveTiledContext(context.Background(), p, tile, Options{NativeWorkers: workers})
+}
+
+// SolveTiledContext is SolveTiled honoring a context (polled by the block
+// pool once per claim) and an Options carrying the worker count
+// (Options.NativeWorkers) and an optional Collector. A canceled solve
+// returns a nil grid and a *Canceled error.
+func SolveTiledContext[T any](ctx context.Context, p *Problem[T], tile int, opts Options) (grid *table.Grid[T], err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if tile < 1 {
 		return nil, fmt.Errorf("core: tile size %d < 1", tile)
 	}
+	workers := opts.NativeWorkers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultPoolWorkers()
 	}
 	cp, _, _, undo := canonicalize(p)
 
@@ -52,6 +61,18 @@ func SolveTiled[T any](p *Problem[T], tile, workers int) (*table.Grid[T], error)
 	blockPattern, _ := CanonicalPattern(Classify(blockMask))
 	bw := NewWavefronts(blockPattern, blockRows, blockCols)
 
+	if c := opts.Collector; c != nil {
+		c.SolveStart(SolveInfo{
+			Solver: "tiled", Problem: p.Name,
+			Pattern: Classify(p.Deps).String(), Executed: blockPattern.String(),
+			Rows: cp.Rows, Cols: cp.Cols, Fronts: bw.Fronts, Workers: workers,
+		})
+		for t := 0; t < bw.Fronts; t++ {
+			c.FrontSize(bw.Size(t))
+		}
+		defer func() { c.SolveEnd(err) }()
+	}
+
 	fillBlock := func(bi, bj int) {
 		iLo, iHi := bi*tileRows, min((bi+1)*tileRows, cp.Rows)
 		jLo, jHi := bj*tileCols, min((bj+1)*tileCols, cp.Cols)
@@ -65,12 +86,15 @@ func SolveTiled[T any](p *Problem[T], tile, workers int) (*table.Grid[T], error)
 	// Blocks are coarse units, so the pool claims one block per cursor bump
 	// (chunk=1); the chunk doubling as serial cutoff means single-block
 	// fronts run inline on the advancing worker.
-	runWavefronts(workers, 1, bw.Fronts, bw.Size, func(t, lo, hi int) {
+	err = runWavefronts(ctx, opts.Collector, "tiled", workers, 1, bw.Fronts, bw.Size, func(t, lo, hi int) {
 		for k := lo; k < hi; k++ {
 			bi, bj := bw.Cell(t, k)
 			fillBlock(bi, bj)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return undo(g), nil
 }
 

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/table"
@@ -19,6 +19,13 @@ import (
 // earlier block planes or equal to B itself (and within a block,
 // lexicographic fill order is safe for the same reason).
 func SolveTiled3[T any](p *Problem3[T], tile, workers int) (*table.Grid3[T], error) {
+	return SolveTiled3Context(context.Background(), p, tile, workers)
+}
+
+// SolveTiled3Context is SolveTiled3 honoring a context, polled once per
+// block plane (between barriers, so no goroutine is abandoned mid-flight).
+// A canceled solve returns a nil grid and a *Canceled error.
+func SolveTiled3Context[T any](ctx context.Context, p *Problem3[T], tile, workers int) (*table.Grid3[T], error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -26,8 +33,9 @@ func SolveTiled3[T any](p *Problem3[T], tile, workers int) (*table.Grid3[T], err
 		return nil, fmt.Errorf("core: tile size %d < 1", tile)
 	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultPoolWorkers()
 	}
+	done := ctxDone(ctx)
 	g := table.NewGrid3[T](p.NX, p.NY, p.NZ, nil)
 
 	bx := (p.NX + tile - 1) / tile
@@ -50,6 +58,9 @@ func SolveTiled3[T any](p *Problem3[T], tile, workers int) (*table.Grid3[T], err
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for s := 0; s <= bx+by+bz-3; s++ {
+		if isDone(done) {
+			return nil, canceledErr(ctx, "tiled3", s)
+		}
 		// Enumerate blocks on plane s.
 		type blk struct{ bi, bj, bk int }
 		var blocks []blk

@@ -1,0 +1,228 @@
+package lddp
+
+import (
+	"encoding/json"
+	"expvar"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Metrics is a ready-made Collector that aggregates solver observability
+// events into a JSON-marshalable snapshot: per-phase wall times, a
+// power-of-two front-size histogram, pool worker utilization, and
+// simulated transfer volumes split boundary/bulk by direction. It is safe
+// for concurrent use and may be reused across solves (counters accumulate;
+// Reset clears them).
+type Metrics struct {
+	mu   sync.Mutex
+	snap MetricsSnapshot
+}
+
+// MetricsSnapshot is the aggregate view of a Metrics collector. All
+// durations are nanoseconds, so the document round-trips through JSON
+// without float loss.
+type MetricsSnapshot struct {
+	// Solver/Problem/Pattern/Executed describe the most recent solve.
+	Solver   string `json:"solver"`
+	Problem  string `json:"problem,omitempty"`
+	Pattern  string `json:"pattern,omitempty"`
+	Executed string `json:"executed,omitempty"`
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	Fronts   int    `json:"fronts"`
+
+	// Solves counts completed solves; Errors those that returned one.
+	Solves int `json:"solves"`
+	Errors int `json:"errors"`
+	// LastError holds the most recent solve error, if any.
+	LastError string `json:"last_error,omitempty"`
+
+	// Phases lists per-phase wall times in first-seen order.
+	Phases []PhaseStat `json:"phases"`
+
+	// FrontSizes is a power-of-two histogram of wavefront sizes;
+	// TotalFronts and TotalCells are its marginals.
+	FrontSizes  []SizeBucket `json:"front_sizes"`
+	TotalFronts int64        `json:"total_fronts"`
+	TotalCells  int64        `json:"total_cells"`
+
+	// Workers lists per-worker pool utilization, in worker order of the
+	// most recent pool solve.
+	Workers []WorkerSnapshot `json:"worker_stats"`
+
+	// Transfers aggregates simulated device traffic.
+	Transfers TransferSummary `json:"transfers"`
+}
+
+// PhaseStat accumulates the wall time of one named execution phase.
+type PhaseStat struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+	Count  int64  `json:"count"`
+}
+
+// SizeBucket counts fronts whose size falls in [Lo, Hi].
+type SizeBucket struct {
+	Lo    int   `json:"lo"`
+	Hi    int   `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// WorkerSnapshot reports one pool worker's share of the work.
+type WorkerSnapshot struct {
+	Worker      int     `json:"worker"`
+	Chunks      int64   `json:"chunks"`
+	Cells       int64   `json:"cells"`
+	BusyNS      int64   `json:"busy_ns"`
+	WallNS      int64   `json:"wall_ns"`
+	Utilization float64 `json:"utilization"`
+}
+
+// TransferSummary splits simulated transfers boundary/bulk by direction.
+type TransferSummary struct {
+	BoundaryH2D TransferCounter `json:"boundary_h2d"`
+	BoundaryD2H TransferCounter `json:"boundary_d2h"`
+	BulkH2D     TransferCounter `json:"bulk_h2d"`
+	BulkD2H     TransferCounter `json:"bulk_d2h"`
+}
+
+// TransferCounter accumulates one transfer class.
+type TransferCounter struct {
+	Count int64 `json:"count"`
+	Bytes int64 `json:"bytes"`
+	Cells int64 `json:"cells"`
+}
+
+var _ Collector = (*Metrics)(nil)
+
+// SolveStart implements Collector.
+func (m *Metrics) SolveStart(info SolveInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap.Solver = info.Solver
+	m.snap.Problem = info.Problem
+	m.snap.Pattern = info.Pattern
+	m.snap.Executed = info.Executed
+	m.snap.Rows, m.snap.Cols, m.snap.Fronts = info.Rows, info.Cols, info.Fronts
+	// A new solve reports a fresh worker roster.
+	m.snap.Workers = m.snap.Workers[:0]
+}
+
+// Phase implements Collector.
+func (m *Metrics) Phase(name string, wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.snap.Phases {
+		if m.snap.Phases[i].Name == name {
+			m.snap.Phases[i].WallNS += wall.Nanoseconds()
+			m.snap.Phases[i].Count++
+			return
+		}
+	}
+	m.snap.Phases = append(m.snap.Phases, PhaseStat{Name: name, WallNS: wall.Nanoseconds(), Count: 1})
+}
+
+// FrontSize implements Collector.
+func (m *Metrics) FrontSize(cells int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap.TotalFronts++
+	m.snap.TotalCells += int64(cells)
+	lo, hi := bucketRange(cells)
+	for i := range m.snap.FrontSizes {
+		if m.snap.FrontSizes[i].Lo == lo {
+			m.snap.FrontSizes[i].Count++
+			return
+		}
+	}
+	m.snap.FrontSizes = append(m.snap.FrontSizes, SizeBucket{Lo: lo, Hi: hi, Count: 1})
+}
+
+// bucketRange maps a front size to its power-of-two histogram bucket.
+func bucketRange(cells int) (lo, hi int) {
+	if cells <= 0 {
+		return 0, 0
+	}
+	n := bits.Len(uint(cells)) - 1 // floor(log2)
+	return 1 << n, 1<<(n+1) - 1
+}
+
+// WorkerStats implements Collector.
+func (m *Metrics) WorkerStats(ws WorkerStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := WorkerSnapshot{
+		Worker: ws.Worker,
+		Chunks: int64(ws.Chunks),
+		Cells:  int64(ws.Cells),
+		BusyNS: ws.Busy.Nanoseconds(),
+		WallNS: ws.Wall.Nanoseconds(),
+	}
+	if snap.WallNS > 0 {
+		snap.Utilization = float64(snap.BusyNS) / float64(snap.WallNS)
+	}
+	m.snap.Workers = append(m.snap.Workers, snap)
+}
+
+// Transfer implements Collector.
+func (m *Metrics) Transfer(ts TransferStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var c *TransferCounter
+	switch {
+	case ts.Boundary && ts.ToDevice:
+		c = &m.snap.Transfers.BoundaryH2D
+	case ts.Boundary:
+		c = &m.snap.Transfers.BoundaryD2H
+	case ts.ToDevice:
+		c = &m.snap.Transfers.BulkH2D
+	default:
+		c = &m.snap.Transfers.BulkD2H
+	}
+	c.Count++
+	c.Bytes += int64(ts.Bytes)
+	c.Cells += int64(ts.Cells)
+}
+
+// SolveEnd implements Collector.
+func (m *Metrics) SolveEnd(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap.Solves++
+	if err != nil {
+		m.snap.Errors++
+		m.snap.LastError = err.Error()
+	}
+}
+
+// Snapshot returns a deep copy of the current aggregates.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.snap
+	s.Phases = append([]PhaseStat(nil), m.snap.Phases...)
+	s.FrontSizes = append([]SizeBucket(nil), m.snap.FrontSizes...)
+	s.Workers = append([]WorkerSnapshot(nil), m.snap.Workers...)
+	return s
+}
+
+// Reset clears all aggregates.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap = MetricsSnapshot{}
+}
+
+// MarshalJSON renders the current snapshot, so a *Metrics can be encoded
+// directly.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}
+
+// PublishExpvar registers the metrics under the given expvar name, making
+// the live snapshot visible on /debug/vars. Like expvar.Publish it must be
+// called at most once per name per process.
+func (m *Metrics) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}
