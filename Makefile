@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench bench-all experiments figures quick cover clean
+.PHONY: all build test vet check race bench bench-all experiments figures quick cover trace clean
 
 all: build vet test
 
@@ -51,5 +51,11 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
+# Record a runtime trace of the pool on the 2048x2048 anti-diagonal
+# case study and print its analysis. trace.json loads in ui.perfetto.dev.
+trace:
+	$(GO) run ./cmd/lddprun -problem levenshtein -size 2048 -solver parallel -workers 4 -traceout trace.json
+	$(GO) run ./cmd/lddptrace trace.json
+
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt trace.json

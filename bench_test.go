@@ -20,6 +20,7 @@ import (
 	"repro/internal/hetsim"
 	"repro/internal/problems"
 	"repro/internal/table"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -308,4 +309,27 @@ func BenchmarkNativePoolSimPath4k(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Tracing overhead: the same pool workload untraced (the one-nil-check
+// fast path the ±2% acceptance bound guards) vs recording into the
+// per-worker rings. Compare the off case against
+// BenchmarkNativePoolLevenshtein4k for the disabled-tracer cost.
+func BenchmarkNativePoolTraceLevenshtein4k(b *testing.B) {
+	p := experiments.Fig10Problem(1, 4096)
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveParallelOpt(p, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := trace.NewRecorder(0)
+			if _, err := core.SolveParallelOpt(p, core.Options{Tracer: rec}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -9,8 +9,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 type result struct {
@@ -26,12 +29,20 @@ type report struct {
 	Goos        string   `json:"goos,omitempty"`
 	Goarch      string   `json:"goarch,omitempty"`
 	CPU         string   `json:"cpu,omitempty"`
+	GoVersion   string   `json:"go_version,omitempty"`
+	GoMaxProcs  int      `json:"gomaxprocs,omitempty"`
+	Commit      string   `json:"commit,omitempty"`
+	Timestamp   string   `json:"timestamp,omitempty"`
 	Benchmarks  []result `json:"benchmarks"`
 }
 
 func main() {
 	rep := report{
 		Description: "Reference benchmark run; real wall-clock numbers from one machine. Regenerate with `make bench`.",
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Commit:      gitCommit(),
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -60,6 +71,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// gitCommit resolves the short commit hash of the working tree,
+// best-effort: runs outside a checkout (or without git) produce records
+// without a commit field rather than failing.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // parseLine decodes one `BenchmarkName-P  N  X ns/op  [Y B/op  Z allocs/op]`

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkNativePoolLevenshtein4k-8   	       3	 123456789 ns/op	     120 B/op	       7 allocs/op")
+	if !ok {
+		t.Fatal("parseLine rejected a valid result line")
+	}
+	if r.Name != "BenchmarkNativePoolLevenshtein4k-8" || r.Iterations != 3 ||
+		r.NsPerOp != 123456789 || r.BytesPerOp != 120 || r.AllocsPerOp != 7 {
+		t.Errorf("parsed %+v", r)
+	}
+	if _, ok := parseLine("BenchmarkBroken-8"); ok {
+		t.Error("parseLine accepted a truncated line")
+	}
+	if _, ok := parseLine("BenchmarkNoTime-8  5  garbage ns/op"); ok {
+		t.Error("parseLine accepted a line without a numeric time")
+	}
+}
+
+func TestRunMetadata(t *testing.T) {
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Commit:     gitCommit(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if rep.GoVersion == "" || rep.GoMaxProcs < 1 {
+		t.Errorf("metadata incomplete: %+v", rep)
+	}
+	if _, err := time.Parse(time.RFC3339, rep.Timestamp); err != nil {
+		t.Errorf("timestamp %q is not RFC3339: %v", rep.Timestamp, err)
+	}
+	// Commit is best-effort (empty outside a git checkout); this test runs
+	// inside the repo, so it should resolve.
+	if rep.Commit == "" {
+		t.Log("gitCommit returned empty (no git in environment?)")
+	}
+}

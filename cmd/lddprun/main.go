@@ -8,6 +8,7 @@
 //	lddprun -problem checkerboard -size 1024 -solver hetero -platform Hetero-Low -gantt
 //	lddprun -problem checkerboard -size 4096 -solver multi -accels k20,phi
 //	lddprun -problem lcs -size 2048 -solver hetero -metrics
+//	lddprun -problem levenshtein -size 2048 -solver parallel -traceout t.json
 package main
 
 import (
@@ -44,6 +45,7 @@ func main() {
 	htmlOut := flag.String("html", "", "write an HTML Gantt chart of the simulated timeline to this file")
 	metricsOut := flag.Bool("metrics", false, "emit the collected runtime metrics as JSON on stdout")
 	traceOut := flag.Bool("trace", false, "print a phase/worker trace table of the solve")
+	traceFile := flag.String("traceout", "", "record runtime events and write them as Chrome trace-event JSON to this file (analyze with lddptrace or ui.perfetto.dev)")
 	flag.Parse()
 
 	inst, err := cli.BuildInstance(*problem, *size, *seed)
@@ -60,6 +62,10 @@ func main() {
 		metrics = &lddp.Metrics{}
 		coll = metrics
 	}
+	var tracer *lddp.Tracer
+	if *traceFile != "" {
+		tracer = lddp.NewTracer()
+	}
 
 	switch *solver {
 	case "seq":
@@ -73,7 +79,7 @@ func main() {
 		if tl <= 0 {
 			tl = core.DefaultTile(4)
 		}
-		ans, err := inst.SolveTiled(tl, core.Options{NativeWorkers: *workers, Collector: coll})
+		ans, err := inst.SolveTiled(tl, core.Options{NativeWorkers: *workers, Collector: coll, Tracer: tracer})
 		if err != nil {
 			fatal(err)
 		}
@@ -85,7 +91,7 @@ func main() {
 		}
 		fmt.Printf("%s (replicas=%d, detected faults at %d cells)\n", ans, *replicas, corrected)
 	case "parallel":
-		ans, err := inst.SolveParallel(core.Options{NativeWorkers: *workers, Collector: coll})
+		ans, err := inst.SolveParallel(core.Options{NativeWorkers: *workers, Collector: coll, Tracer: tracer})
 		if err != nil {
 			fatal(err)
 		}
@@ -105,7 +111,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		opts := core.Options{Platform: plat, TSwitch: *tswitch, TShare: *tshare, Collector: coll}
+		opts := core.Options{Platform: plat, TSwitch: *tswitch, TShare: *tshare, Collector: coll, Tracer: tracer}
 		var info cli.SimInfo
 		if *solver == "multi" {
 			names := strings.Split(*accels, ",")
@@ -149,6 +155,24 @@ func main() {
 		fatal(fmt.Errorf("unknown solver %q", *solver))
 	}
 
+	if tracer != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lddp.WriteTrace(f, tracer); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		n := len(tracer.Events())
+		if n == 0 {
+			fmt.Printf("wrote %s (no events: solver %q is untraced)\n", *traceFile, *solver)
+		} else {
+			fmt.Printf("wrote %s (%d events, %d dropped)\n", *traceFile, n, tracer.Dropped())
+		}
+	}
 	if *traceOut {
 		printTrace(metrics.Snapshot())
 	}

@@ -1,0 +1,68 @@
+// Command lddptrace analyzes a runtime trace written by
+// `lddprun -traceout` (or lddp.WriteTrace): per-worker utilization
+// timelines, the barrier-stall breakdown per front, and the critical
+// path through the front DAG.
+//
+// Usage:
+//
+//	lddprun -problem levenshtein -size 2048 -solver parallel -traceout t.json
+//	lddptrace t.json
+//	lddptrace -json t.json | jq .stall
+//	lddptrace -buckets 120 t.json
+//
+// The input is Chrome trace-event JSON; "-" reads stdin. With -json the
+// full analyzed report is emitted as JSON instead of the text summary.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the analyzed report as JSON")
+	buckets := flag.Int("buckets", 0, "utilization timeline buckets (0 = 60)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lddptrace [-json] [-buckets n] <trace.json | ->")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	meta, events, err := trace.ReadChrome(in)
+	if err != nil {
+		fatal(err)
+	}
+	rep := trace.Analyze(meta, events, *buckets)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := trace.WriteSummary(os.Stdout, rep); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lddptrace:", err)
+	os.Exit(1)
+}

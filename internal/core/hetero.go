@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hetsim"
 	"repro/internal/table"
+	"repro/internal/trace"
 )
 
 // SolveHetero runs the paper's heterogeneous framework on the problem: it
@@ -130,6 +131,15 @@ func solveSim[T any](ctx context.Context, p *Problem[T], opts Options, mode solv
 	}
 	if c := o.Collector; c != nil {
 		emitTimelinePhases(c, res.Timeline)
+	}
+	if tr := o.Tracer; tr != nil {
+		// No EndSolve: imported events live on the simulated clock.
+		tr.BeginSolve(trace.Meta{
+			Solver: mode.String(), Problem: p.Name,
+			Pattern: Classify(p.Deps).String(), Executed: executed.String(),
+			Rows: cp.Rows, Cols: cp.Cols, Fronts: w.Fronts, Clock: "sim",
+		})
+		tr.ImportTimeline(res.Timeline)
 	}
 	if mode != modeHetero {
 		res.TSwitch, res.TShare = 0, 0

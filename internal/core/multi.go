@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/hetsim"
 	"repro/internal/table"
+	"repro/internal/trace"
 )
 
 // Multi-accelerator execution: the extension the paper's conclusion asks
@@ -111,6 +112,15 @@ func SolveHeteroMultiContext[T any](ctx context.Context, p *Problem[T], opts Opt
 	}
 	if c := o.Collector; c != nil {
 		emitTimelinePhases(c, res.Timeline)
+	}
+	if tr := o.Tracer; tr != nil {
+		// No EndSolve: imported events live on the simulated clock.
+		tr.BeginSolve(trace.Meta{
+			Solver: "multi", Problem: p.Name,
+			Pattern: Classify(p.Deps).String(), Executed: Horizontal.String(),
+			Rows: cp.Rows, Cols: cp.Cols, Fronts: w.Fronts, Clock: "sim",
+		})
+		tr.ImportTimeline(res.Timeline)
 	}
 	if e.g != nil {
 		res.Grid = undo(e.g)

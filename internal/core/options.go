@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/hetsim"
 	"repro/internal/table"
+	"repro/internal/trace"
 )
 
 // Options configures the heterogeneous solver and the simulated baselines.
@@ -78,6 +79,13 @@ type Options struct {
 	// simulated transfer volumes). Nil — the default — disables all
 	// instrumentation at zero overhead.
 	Collector Collector
+
+	// Tracer records per-event runtime traces (front begin/end, chunk
+	// claims, barrier waits, band handoffs, simulated transfers) into
+	// per-worker ring buffers for Perfetto export and stall analysis.
+	// Nil — the default — disables tracing; the hot paths guard every
+	// emission behind one nil test, like Collector.
+	Tracer *trace.Recorder
 }
 
 // withDefaults resolves nil/auto fields against a problem's executed

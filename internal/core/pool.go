@@ -3,11 +3,14 @@ package core
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/table"
+	"repro/internal/trace"
 )
 
 // Persistent worker-pool wavefront runtime.
@@ -74,8 +77,9 @@ type poolWorkerStat struct {
 }
 
 // workerPool is the reusable barrier state shared by the pool workers.
-// Front-describing fields (front, size) are written only by the advancing
-// worker between epochs and published to the others by the gate close.
+// Front-describing fields (front, size, frontT0) are written only by the
+// advancing worker between epochs and published to the others by the gate
+// close.
 type workerPool struct {
 	workers int
 	chunk   int64
@@ -83,11 +87,13 @@ type workerPool struct {
 	sizeOf  func(t int) int
 	run     func(t, lo, hi int)
 
-	done  <-chan struct{} // context done channel; nil = uncancellable
+	done  <-chan struct{}  // context done channel; nil = uncancellable
 	stats []poolWorkerStat // per-worker instrumentation; nil = collector off
+	lanes []*trace.Lane    // per-worker trace lanes; nil = tracer off
 
-	front int   // current front index
-	size  int64 // current front size
+	front   int       // current front index
+	size    int64     // current front size
+	frontT0 time.Time // when the current front opened (tracer on only)
 
 	cursor    atomic.Int64  // next unclaimed cell of the current front
 	remaining atomic.Int64  // workers still computing the current front
@@ -96,39 +102,74 @@ type workerPool struct {
 	stop      bool          // set by the advancer before the final gate close
 }
 
+// poolConfig bundles the cross-cutting knobs of the pool runtime: the
+// executor name (error messages, pprof labels), worker/chunk sizing, and
+// the two observability sinks. The zero values of workers and chunk select
+// the documented defaults.
+type poolConfig struct {
+	solver  string
+	phase   string // pprof label: executed pattern / "blocks" / "planes"
+	workers int
+	chunk   int
+	coll    Collector
+	rec     *trace.Recorder
+}
+
+// poolLabels builds the pprof label set attached to every pool goroutine,
+// so CPU profiles segment by solver, wavefront phase, and worker.
+func (cfg *poolConfig) poolLabels(w int) pprof.LabelSet {
+	return pprof.Labels(
+		"lddp_solver", cfg.solver,
+		"lddp_phase", cfg.phase,
+		"lddp_worker", strconv.Itoa(w),
+	)
+}
+
 // runWavefronts executes fronts [0, fronts) of a wavefront space on a
 // persistent pool: size(t) is the cell count of front t and run(t, lo, hi)
 // computes its cells [lo, hi). run must be safe for concurrent calls on
-// disjoint ranges of one front. workers <= 1 degenerates to a serial sweep
-// with no goroutines; chunk <= 0 selects defaultNativeChunk; workers <= 0
-// selects the documented default min(GOMAXPROCS, NumCPU).
+// disjoint ranges of one front. cfg.workers <= 1 degenerates to a serial
+// sweep with no goroutines; cfg.chunk <= 0 selects defaultNativeChunk;
+// cfg.workers <= 0 selects the documented default min(GOMAXPROCS, NumCPU).
 //
 // On cancellation runWavefronts returns *Canceled (solver names the
 // interrupted executor in the error); the computed prefix of the table is
 // left in place but the caller must treat the solve as failed.
-func runWavefronts(ctx context.Context, coll Collector, solver string, workers, chunk, fronts int, size func(t int) int, run func(t, lo, hi int)) error {
+func runWavefronts(ctx context.Context, cfg poolConfig, fronts int, size func(t int) int, run func(t, lo, hi int)) error {
 	if fronts <= 0 {
 		return nil
 	}
+	chunk := cfg.chunk
 	if chunk <= 0 {
 		chunk = defaultNativeChunk
 	}
+	workers := cfg.workers
 	if workers <= 0 {
 		workers = defaultPoolWorkers()
 	}
 	done := ctxDone(ctx)
+	var lane0 *trace.Lane
+	if cfg.rec != nil {
+		lane0 = cfg.rec.Lane(0)
+	}
 	// A front is worth parallelizing only when it exceeds one chunk, so a
 	// problem whose widest front fits in a chunk never starts a worker.
 	t := 0
 	for ; t < fronts; t++ {
 		if isDone(done) {
-			return canceledErr(ctx, solver, t)
+			return canceledErr(ctx, cfg.solver, t)
 		}
 		s := size(t)
 		if workers > 1 && s > chunk {
 			break
 		}
-		run(t, 0, s)
+		if lane0 == nil {
+			run(t, 0, s)
+		} else {
+			t0 := time.Now()
+			run(t, 0, s)
+			lane0.SpanFrom(trace.KindInline, t, 0, int64(s), t0)
+		}
 	}
 	if t == fronts {
 		return nil
@@ -145,8 +186,15 @@ func runWavefronts(ctx context.Context, coll Collector, solver string, workers, 
 		size:    int64(size(t)),
 		gate:    make(chan struct{}),
 	}
-	if coll != nil {
+	if cfg.coll != nil {
 		p.stats = make([]poolWorkerStat, workers)
+	}
+	if cfg.rec != nil {
+		p.lanes = make([]*trace.Lane, workers)
+		for w := range p.lanes {
+			p.lanes[w] = cfg.rec.Lane(w)
+		}
+		p.frontT0 = time.Now()
 	}
 	p.remaining.Store(int64(workers))
 
@@ -156,24 +204,25 @@ func runWavefronts(ctx context.Context, coll Collector, solver string, workers, 
 	for i := 1; i < workers; i++ {
 		go func(w int) {
 			defer wg.Done()
-			p.work(w)
+			pprof.Do(ctx, cfg.poolLabels(w), func(context.Context) { p.work(w) })
 		}(i)
 	}
-	p.work(0) // the caller participates as worker 0
+	// The caller participates as worker 0 (labels restored by pprof.Do).
+	pprof.Do(ctx, cfg.poolLabels(0), func(context.Context) { p.work(0) })
 	wg.Wait()
 
-	if coll != nil {
+	if cfg.coll != nil {
 		wall := time.Since(start)
 		for w := range p.stats {
 			st := &p.stats[w]
-			coll.WorkerStats(WorkerStats{
+			cfg.coll.WorkerStats(WorkerStats{
 				Worker: w, Chunks: st.chunks, Cells: st.cells,
 				Busy: st.busy, Wall: wall,
 			})
 		}
 	}
 	if p.canceled.Load() {
-		return canceledErr(ctx, solver, p.front)
+		return canceledErr(ctx, cfg.solver, p.front)
 	}
 	return nil
 }
@@ -185,16 +234,25 @@ func (p *workerPool) work(w int) {
 	if p.stats != nil {
 		st = &p.stats[w]
 	}
-	runSpan := func(t, lo, hi int) {
-		if st == nil {
+	var ln *trace.Lane
+	if p.lanes != nil {
+		ln = p.lanes[w]
+	}
+	runSpan := func(kind trace.Kind, t, lo, hi int) {
+		if st == nil && ln == nil {
 			p.run(t, lo, hi)
 			return
 		}
 		t0 := time.Now()
 		p.run(t, lo, hi)
-		st.busy += time.Since(t0)
-		st.chunks++
-		st.cells += hi - lo
+		if st != nil {
+			st.busy += time.Since(t0)
+			st.chunks++
+			st.cells += hi - lo
+		}
+		if ln != nil {
+			ln.SpanFrom(kind, t, int64(lo), int64(hi), t0)
+		}
 	}
 	for {
 		// Claim chunks of the current front until the cursor runs past its
@@ -216,16 +274,25 @@ func (p *workerPool) work(w int) {
 			if hi > size {
 				hi = size
 			}
-			runSpan(p.front, int(lo), int(hi))
+			runSpan(trace.KindChunk, p.front, int(lo), int(hi))
 		}
 
-		// Capture the gate before announcing arrival: once remaining hits
-		// zero the advancer may swap p.gate for the next epoch, and a
-		// worker that loaded the new gate would park for a close that
-		// already happened.
+		// Capture the gate and the front before announcing arrival: once
+		// remaining hits zero the advancer may swap p.gate for the next
+		// epoch, and a worker that loaded the new gate would park for a
+		// close that already happened (likewise p.front for the barrier
+		// span's front attribution).
 		gate := p.gate
+		arrivedFront := p.front
+		var barrierT0 time.Time
+		if ln != nil {
+			barrierT0 = time.Now()
+		}
 		if p.remaining.Add(-1) > 0 {
 			<-gate
+			if ln != nil {
+				ln.SpanFrom(trace.KindBarrier, arrivedFront, 0, 0, barrierT0)
+			}
 			if p.stop {
 				return
 			}
@@ -243,6 +310,11 @@ func (p *workerPool) work(w int) {
 			close(gate)
 			return
 		}
+		if ln != nil {
+			// The completed front's wall span, from gate open to last
+			// arrival.
+			ln.SpanFrom(trace.KindFront, arrivedFront, int64(size), 0, p.frontT0)
+		}
 		t := p.front + 1
 		for ; t < p.fronts; t++ {
 			if isDone(p.done) {
@@ -256,7 +328,7 @@ func (p *workerPool) work(w int) {
 			if s > int(p.chunk) {
 				break
 			}
-			runSpan(t, 0, s)
+			runSpan(trace.KindInline, t, 0, s)
 		}
 		if t == p.fronts {
 			p.stop = true
@@ -265,6 +337,9 @@ func (p *workerPool) work(w int) {
 		}
 		p.front = t
 		p.size = int64(p.sizeOf(t))
+		if ln != nil {
+			p.frontT0 = time.Now()
+		}
 		p.cursor.Store(0)
 		p.remaining.Store(int64(p.workers))
 		p.gate = make(chan struct{})
@@ -290,7 +365,11 @@ func (p *workerPool) work(w int) {
 // unwinds without any worker blocking on a token its neighbour will never
 // send. The lowest unfinished row across the workers is reported as
 // Canceled.Front.
-func runBands(ctx context.Context, workers, rows, cols int, needLeft, needRight bool, run func(t, lo, hi int)) error {
+func runBands(ctx context.Context, cfg poolConfig, rows, cols int, needLeft, needRight bool, run func(t, lo, hi int)) error {
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = defaultPoolWorkers()
+	}
 	if workers > cols {
 		workers = cols
 	}
@@ -303,6 +382,12 @@ func runBands(ctx context.Context, workers, rows, cols int, needLeft, needRight 
 			run(t, 0, cols)
 		}
 		return nil
+	}
+	lanes := make([]*trace.Lane, workers)
+	if cfg.rec != nil {
+		for w := range lanes {
+			lanes[w] = cfg.rec.Lane(w)
+		}
 	}
 	// fromLeft[w] carries tokens from worker w-1 to w; fromRight[w] from
 	// w+1 to w. Only the channels a worker will consume are allocated.
@@ -327,10 +412,14 @@ func runBands(ctx context.Context, workers, rows, cols int, needLeft, needRight 
 	for w := 1; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			bandWork(w, workers, rows, bandStart(w), bandStart(w+1), needLeft, needRight, fromLeft, fromRight, done, &lowRow, run)
+			pprof.Do(ctx, cfg.poolLabels(w), func(context.Context) {
+				bandWork(w, workers, rows, bandStart(w), bandStart(w+1), needLeft, needRight, fromLeft, fromRight, done, &lowRow, lanes[w], run)
+			})
 		}(w)
 	}
-	bandWork(0, workers, rows, bandStart(0), bandStart(1), needLeft, needRight, fromLeft, fromRight, done, &lowRow, run)
+	pprof.Do(ctx, cfg.poolLabels(0), func(context.Context) {
+		bandWork(0, workers, rows, bandStart(0), bandStart(1), needLeft, needRight, fromLeft, fromRight, done, &lowRow, lanes[0], run)
+	})
 	wg.Wait()
 
 	if low := lowRow.Load(); low < int64(rows) {
@@ -341,8 +430,9 @@ func runBands(ctx context.Context, workers, rows, cols int, needLeft, needRight 
 
 // bandWork sweeps one worker's column band down all rows, exchanging epoch
 // tokens with its neighbours. On cancellation it records its first
-// unfinished row into lowRow and returns.
-func bandWork(w, workers, rows, lo, hi int, needLeft, needRight bool, fromLeft, fromRight []chan struct{}, done <-chan struct{}, lowRow *atomic.Int64, run func(t, lo, hi int)) {
+// unfinished row into lowRow and returns. A non-nil lane records one
+// KindRow span per row plus KindHandoff spans for the token waits.
+func bandWork(w, workers, rows, lo, hi int, needLeft, needRight bool, fromLeft, fromRight []chan struct{}, done <-chan struct{}, lowRow *atomic.Int64, ln *trace.Lane, run func(t, lo, hi int)) {
 	waitLeft := needLeft && w > 0
 	waitRight := needRight && w < workers-1
 	sendRight := needLeft && w < workers-1
@@ -365,23 +455,43 @@ func bandWork(w, workers, rows, lo, hi int, needLeft, needRight bool, fromLeft, 
 			// One token per row: t tokens consumed means the neighbour has
 			// finished rows [0, t), covering every NW/NE read of row t.
 			if waitLeft {
+				var t0 time.Time
+				if ln != nil {
+					t0 = time.Now()
+				}
 				select {
 				case <-fromLeft[w]:
 				case <-done:
 					abort(t)
 					return
 				}
+				if ln != nil {
+					ln.SpanFrom(trace.KindHandoff, t, 0, 0, t0)
+				}
 			}
 			if waitRight {
+				var t0 time.Time
+				if ln != nil {
+					t0 = time.Now()
+				}
 				select {
 				case <-fromRight[w]:
 				case <-done:
 					abort(t)
 					return
 				}
+				if ln != nil {
+					ln.SpanFrom(trace.KindHandoff, t, 1, 0, t0)
+				}
 			}
 		}
-		run(t, lo, hi)
+		if ln == nil {
+			run(t, lo, hi)
+		} else {
+			t0 := time.Now()
+			run(t, lo, hi)
+			ln.SpanFrom(trace.KindRow, t, int64(lo), int64(hi), t0)
+		}
 		if sendRight {
 			fromLeft[w+1] <- struct{}{}
 		}
@@ -561,14 +671,14 @@ func solveParallelPool[T any](ctx context.Context, p *Problem[T], opts Options) 
 
 	coll := opts.Collector
 	useBands := canonical == Horizontal && !opts.NativeNoLookahead && workers > 1
+	solver := "pool"
+	if useBands {
+		solver = "bands"
+	} else if workers == 1 {
+		solver = "sequential"
+	}
 	var start time.Time
 	if coll != nil {
-		solver := "pool"
-		if useBands {
-			solver = "bands"
-		} else if workers == 1 {
-			solver = "sequential"
-		}
 		coll.SolveStart(SolveInfo{
 			Solver: solver, Problem: p.Name,
 			Pattern: Classify(p.Deps).String(), Executed: canonical.String(),
@@ -583,13 +693,36 @@ func solveParallelPool[T any](ctx context.Context, p *Problem[T], opts Options) 
 			coll.SolveEnd(err)
 		}()
 	}
+	tr := opts.Tracer
+	if tr != nil {
+		tr.BeginSolve(trace.Meta{
+			Solver: solver, Problem: p.Name,
+			Pattern: Classify(p.Deps).String(), Executed: canonical.String(),
+			Rows: cp.Rows, Cols: cp.Cols, Fronts: w.Fronts, Workers: workers,
+		})
+		defer tr.EndSolve()
+	}
+	cfg := poolConfig{
+		solver: solver, phase: canonical.String(),
+		workers: workers, chunk: opts.NativeChunk,
+		coll: coll, rec: tr,
+	}
 
 	if workers == 1 {
 		if flat := g.RowMajorData(); flat != nil {
 			// Serial degenerate case: wavefront order buys nothing without
 			// concurrency, so sweep row-major (cache-optimal, and
 			// dependency-safe for every contributing set, as in Solve).
+			var t0 int64
+			var lane *trace.Lane
+			if tr != nil {
+				lane = tr.Lane(0)
+				t0 = lane.Clock()
+			}
 			row, ok := newFlatKernel(cp, flat, cp.Rows, cp.Cols).fillRowMajor(ctxDone(ctx))
+			if lane != nil {
+				lane.SpanLabel(trace.KindPhase, "fill:row-major", -1, int64(cp.Rows)*int64(cp.Cols), 0, t0)
+			}
 			if !ok {
 				return nil, canceledErr(ctx, "sequential", row)
 			}
@@ -603,12 +736,12 @@ func solveParallelPool[T any](ctx context.Context, p *Problem[T], opts Options) 
 		// point-to-point neighbour handoff instead of a global barrier.
 		needLeft := cp.Deps.Has(DepNW)
 		needRight := cp.Deps.Has(DepNE)
-		if err := runBands(ctx, workers, w.Fronts, cp.Cols, needLeft, needRight, run); err != nil {
+		if err := runBands(ctx, cfg, w.Fronts, cp.Cols, needLeft, needRight, run); err != nil {
 			return nil, err
 		}
 		return undo(g), nil
 	}
-	if err := runWavefronts(ctx, coll, "pool", workers, opts.NativeChunk, w.Fronts, w.Size, run); err != nil {
+	if err := runWavefronts(ctx, cfg, w.Fronts, w.Size, run); err != nil {
 		return nil, err
 	}
 	return undo(g), nil

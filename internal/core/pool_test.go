@@ -150,7 +150,8 @@ func TestRunWavefrontsCoverage(t *testing.T) {
 			for t := range sizes {
 				seen[t] = make([]bool, sizes[t])
 			}
-			runWavefronts(context.Background(), nil, "pool", workers, chunk, len(sizes), func(t int) int { return sizes[t] },
+			cfg := poolConfig{solver: "pool", phase: "fill", workers: workers, chunk: chunk}
+			runWavefronts(context.Background(), cfg, len(sizes), func(t int) int { return sizes[t] },
 				func(ft, lo, hi int) {
 					mu.Lock()
 					for k := lo; k < hi; k++ {

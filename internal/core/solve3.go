@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hetsim"
 	"repro/internal/table"
+	"repro/internal/trace"
 )
 
 // Solve3 fills the 3-D table sequentially in lexicographic order, which is
@@ -70,18 +71,51 @@ func SolveParallel3[T any](p *Problem3[T], workers int) (*table.Grid3[T], error)
 // pool once per chunk claim. A canceled solve returns a nil grid and a
 // *Canceled error.
 func SolveParallel3Context[T any](ctx context.Context, p *Problem3[T], workers int) (*table.Grid3[T], error) {
+	return SolveParallel3Opt(ctx, p, Options{NativeWorkers: workers})
+}
+
+// SolveParallel3Opt is SolveParallel3Context with the full Options set:
+// NativeWorkers/NativeChunk sizing plus the Collector and Tracer sinks
+// wired through the pool runtime exactly as in the 2-D executors.
+func SolveParallel3Opt[T any](ctx context.Context, p *Problem3[T], opts Options) (grid *table.Grid3[T], err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	workers := opts.NativeWorkers
 	if workers <= 0 {
 		workers = defaultPoolWorkers()
 	}
+	planes := p.Planes()
+	planeSize := func(s int) int { return table.PlaneSize(p.NX, p.NY, p.NZ, s) }
+	if c := opts.Collector; c != nil {
+		c.SolveStart(SolveInfo{
+			Solver: "pool3", Problem: p.Name,
+			Rows: p.NX, Cols: p.NY * p.NZ, Fronts: planes, Workers: workers,
+		})
+		for s := 0; s < planes; s++ {
+			c.FrontSize(planeSize(s))
+		}
+		defer func() { c.SolveEnd(err) }()
+	}
+	if tr := opts.Tracer; tr != nil {
+		tr.BeginSolve(trace.Meta{
+			Solver: "pool3", Problem: p.Name,
+			Rows: p.NX, Cols: p.NY * p.NZ, Fronts: planes, Workers: workers,
+		})
+		defer tr.EndSolve()
+	}
 	g := table.NewGrid3[T](p.NX, p.NY, p.NZ, nil)
+	chunk := opts.NativeChunk
+	if chunk <= 0 {
+		chunk = defaultNativeChunk
+	}
 	// Planes grow and shrink like 2-D anti-diagonals; the pool runtime's
 	// serial cutoff keeps the small end planes on the advancing worker.
-	err := runWavefronts(ctx, nil, "pool3", workers, 512, p.Planes(), func(s int) int {
-		return table.PlaneSize(p.NX, p.NY, p.NZ, s)
-	}, func(s, lo, hi int) {
+	cfg := poolConfig{
+		solver: "pool3", phase: "planes", workers: workers, chunk: chunk,
+		coll: opts.Collector, rec: opts.Tracer,
+	}
+	err = runWavefronts(ctx, cfg, planes, planeSize, func(s, lo, hi int) {
 		forEachPlaneCell(p, s, lo, hi, func(i, j, k int) {
 			g.Set(i, j, k, p.F(i, j, k, gather3(p, g, i, j, k)))
 		})
@@ -354,6 +388,15 @@ func solveSim3[T any](ctx context.Context, p *Problem3[T], opts Options, mode so
 	}
 	if coll != nil {
 		emitTimelinePhases(coll, res.Timeline)
+	}
+	if tr := opts.Tracer; tr != nil {
+		// No EndSolve: imported events live on the simulated clock, and a
+		// wall-clock solve span would pollute the analysis.
+		tr.BeginSolve(trace.Meta{
+			Solver: solver, Problem: p.Name,
+			Rows: p.NX, Cols: p.NY * p.NZ, Fronts: planes, Clock: "sim",
+		})
+		tr.ImportTimeline(res.Timeline)
 	}
 	return res, nil
 }

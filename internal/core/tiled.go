@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/table"
+	"repro/internal/trace"
 )
 
 // SolveTiled fills the DP table with the cache-efficient tiled scheme of
@@ -72,6 +73,14 @@ func SolveTiledContext[T any](ctx context.Context, p *Problem[T], tile int, opts
 		}
 		defer func() { c.SolveEnd(err) }()
 	}
+	if tr := opts.Tracer; tr != nil {
+		tr.BeginSolve(trace.Meta{
+			Solver: "tiled", Problem: p.Name,
+			Pattern: Classify(p.Deps).String(), Executed: blockPattern.String(),
+			Rows: cp.Rows, Cols: cp.Cols, Fronts: bw.Fronts, Workers: workers,
+		})
+		defer tr.EndSolve()
+	}
 
 	fillBlock := func(bi, bj int) {
 		iLo, iHi := bi*tileRows, min((bi+1)*tileRows, cp.Rows)
@@ -86,7 +95,11 @@ func SolveTiledContext[T any](ctx context.Context, p *Problem[T], tile int, opts
 	// Blocks are coarse units, so the pool claims one block per cursor bump
 	// (chunk=1); the chunk doubling as serial cutoff means single-block
 	// fronts run inline on the advancing worker.
-	err = runWavefronts(ctx, opts.Collector, "tiled", workers, 1, bw.Fronts, bw.Size, func(t, lo, hi int) {
+	cfg := poolConfig{
+		solver: "tiled", phase: "blocks", workers: workers, chunk: 1,
+		coll: opts.Collector, rec: opts.Tracer,
+	}
+	err = runWavefronts(ctx, cfg, bw.Fronts, bw.Size, func(t, lo, hi int) {
 		for k := lo; k < hi; k++ {
 			bi, bj := bw.Cell(t, k)
 			fillBlock(bi, bj)

@@ -1,0 +1,344 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Analyzer for recorded event streams: per-worker utilization timelines,
+// barrier-stall breakdown per front, and the critical path through the
+// front DAG. Works on either a live Recorder's Events() or a stream read
+// back with ReadChrome.
+
+// Report is the analyzed view of one trace.
+type Report struct {
+	Meta   Meta  `json:"meta"`
+	SpanNS int64 `json:"span_ns"` // first event start to last event end
+	Events int   `json:"events"`
+
+	Workers []LaneReport `json:"workers"`
+
+	// Util is the per-lane utilization timeline: Util[lane][bucket] is
+	// the busy fraction of that bucket of the span. Buckets is the bucket
+	// count; BucketNS the bucket width.
+	Buckets  int         `json:"buckets"`
+	BucketNS int64       `json:"bucket_ns"`
+	Util     [][]float64 `json:"util"`
+
+	Stall    StallReport    `json:"stall"`
+	Critical CriticalReport `json:"critical"`
+}
+
+// LaneReport aggregates one lane's work.
+type LaneReport struct {
+	Worker int    `json:"worker"`
+	Name   string `json:"name"`
+	BusyNS int64  `json:"busy_ns"`
+	Util   float64 `json:"util"`
+	Chunks int    `json:"chunks"`
+	Cells  int64  `json:"cells"`
+}
+
+// StallReport breaks synchronization waits down.
+type StallReport struct {
+	// BarrierNS is the total time workers spent parked at the epoch
+	// barrier; HandoffNS the total time band workers waited for
+	// neighbour tokens.
+	BarrierNS int64 `json:"barrier_ns"`
+	HandoffNS int64 `json:"handoff_ns"`
+	// FrontsWithStall counts fronts with at least one barrier wait.
+	FrontsWithStall int `json:"fronts_with_stall"`
+	// Top lists the worst fronts by accumulated barrier stall.
+	Top []FrontStall `json:"top,omitempty"`
+}
+
+// FrontStall is one front's barrier-stall aggregate.
+type FrontStall struct {
+	Front   int32 `json:"front"`
+	StallNS int64 `json:"stall_ns"`
+	Waiters int   `json:"waiters"`
+	WallNS  int64 `json:"wall_ns"` // front span, 0 if no KindFront event
+}
+
+// CriticalReport decomposes the critical path through the front DAG.
+//
+// For barrier-pool traces the front DAG is a chain — every front waits
+// on the previous one — so the path visits every KindFront span;
+// each step splits into the longest chunk of that front (compute) and
+// the rest of the front's wall (overhead: imbalance + barrier). Fronts
+// run inline by the advancing worker contribute their serial time.
+//
+// For band (lookahead) traces the DAG is (row, band) with edges from a
+// row to its neighbours' previous row; the path walks actual timestamps
+// backwards from the last-finishing row span.
+type CriticalReport struct {
+	Kind      string `json:"kind"` // "front-chain", "band-path" or "none"
+	Steps     int    `json:"steps"`
+	ComputeNS int64  `json:"compute_ns"`
+	StallNS   int64  `json:"stall_ns"`
+	InlineNS  int64  `json:"inline_ns"`
+	// Top lists the worst steps by overhead.
+	Top []CriticalStep `json:"top,omitempty"`
+}
+
+// CriticalStep is one step of the critical path.
+type CriticalStep struct {
+	Front     int32 `json:"front"`
+	ComputeNS int64 `json:"compute_ns"`
+	StallNS   int64 `json:"stall_ns"`
+}
+
+const topN = 5
+
+// busyKind reports whether spans of this kind occupy their lane.
+func busyKind(k Kind) bool {
+	switch k {
+	case KindChunk, KindInline, KindRow, KindPhase, KindXferH2D, KindXferD2H:
+		return true
+	}
+	return false
+}
+
+// Analyze computes the full report for an event stream. buckets <= 0
+// selects 60 utilization buckets.
+func Analyze(meta Meta, events []Event, buckets int) *Report {
+	if buckets <= 0 {
+		buckets = 60
+	}
+	rep := &Report{Meta: meta, Events: len(events), Buckets: buckets}
+	if len(events) == 0 {
+		rep.Critical.Kind = "none"
+		return rep
+	}
+
+	lo, hi := events[0].TS, int64(0)
+	maxLane := 0
+	for _, e := range events {
+		if e.TS < lo {
+			lo = e.TS
+		}
+		if e.End() > hi {
+			hi = e.End()
+		}
+		if int(e.Worker) > maxLane {
+			maxLane = int(e.Worker)
+		}
+	}
+	rep.SpanNS = hi - lo
+	if rep.SpanNS <= 0 {
+		rep.SpanNS = 1
+	}
+
+	// Per-lane busy totals and the bucketed utilization timeline.
+	nLanes := maxLane + 1
+	rep.Util = make([][]float64, nLanes)
+	for i := range rep.Util {
+		rep.Util[i] = make([]float64, buckets)
+	}
+	rep.BucketNS = (rep.SpanNS + int64(buckets) - 1) / int64(buckets)
+	lanes := make([]LaneReport, nLanes)
+	for i := range lanes {
+		lanes[i] = LaneReport{Worker: i, Name: laneName(meta, i)}
+	}
+	for _, e := range events {
+		if !busyKind(e.Kind) {
+			continue
+		}
+		lr := &lanes[e.Worker]
+		lr.BusyNS += e.Dur
+		if e.Kind == KindChunk || e.Kind == KindInline || e.Kind == KindRow {
+			lr.Chunks++
+			lr.Cells += e.B - e.A
+		}
+		addSpan(rep.Util[e.Worker], lo, rep.BucketNS, e.TS, e.End())
+	}
+	for i := range lanes {
+		lanes[i].Util = float64(lanes[i].BusyNS) / float64(rep.SpanNS)
+	}
+	rep.Workers = lanes
+
+	rep.Stall = analyzeStall(events)
+	rep.Critical = analyzeCritical(events)
+	return rep
+}
+
+// addSpan spreads [s, e) over the bucket array (clamped, proportional).
+func addSpan(buckets []float64, lo, width, s, e int64) {
+	if width <= 0 || e <= s {
+		return
+	}
+	for b := (s - lo) / width; b < int64(len(buckets)); b++ {
+		bLo, bHi := lo+b*width, lo+(b+1)*width
+		if s >= bHi {
+			continue
+		}
+		if e <= bLo {
+			break
+		}
+		ov := min64(e, bHi) - max64(s, bLo)
+		buckets[b] += float64(ov) / float64(width)
+	}
+}
+
+func analyzeStall(events []Event) StallReport {
+	var rep StallReport
+	perFront := map[int32]*FrontStall{}
+	for _, e := range events {
+		switch e.Kind {
+		case KindBarrier:
+			rep.BarrierNS += e.Dur
+			fs := perFront[e.Front]
+			if fs == nil {
+				fs = &FrontStall{Front: e.Front}
+				perFront[e.Front] = fs
+			}
+			fs.StallNS += e.Dur
+			fs.Waiters++
+		case KindHandoff:
+			rep.HandoffNS += e.Dur
+		case KindFront:
+			if fs := perFront[e.Front]; fs != nil {
+				fs.WallNS = e.Dur
+			} else {
+				perFront[e.Front] = &FrontStall{Front: e.Front, WallNS: e.Dur}
+			}
+		}
+	}
+	for _, fs := range perFront {
+		if fs.StallNS > 0 {
+			rep.FrontsWithStall++
+			rep.Top = append(rep.Top, *fs)
+		}
+	}
+	sort.Slice(rep.Top, func(i, j int) bool {
+		if rep.Top[i].StallNS != rep.Top[j].StallNS {
+			return rep.Top[i].StallNS > rep.Top[j].StallNS
+		}
+		return rep.Top[i].Front < rep.Top[j].Front
+	})
+	if len(rep.Top) > topN {
+		rep.Top = rep.Top[:topN]
+	}
+	return rep
+}
+
+func analyzeCritical(events []Event) CriticalReport {
+	// Band traces carry KindRow spans; pool traces KindFront spans.
+	var rows, fronts, inline []Event
+	longestChunk := map[int32]int64{}
+	for _, e := range events {
+		switch e.Kind {
+		case KindRow:
+			rows = append(rows, e)
+		case KindFront:
+			fronts = append(fronts, e)
+		case KindInline:
+			inline = append(inline, e)
+		case KindChunk:
+			if e.Dur > longestChunk[e.Front] {
+				longestChunk[e.Front] = e.Dur
+			}
+		}
+	}
+	var rep CriticalReport
+	for _, e := range inline {
+		rep.InlineNS += e.Dur
+	}
+	switch {
+	case len(rows) > 0:
+		rep = bandCritical(rows, rep)
+	case len(fronts) > 0:
+		rep.Kind = "front-chain"
+		sort.Slice(fronts, func(i, j int) bool { return fronts[i].Front < fronts[j].Front })
+		for _, f := range fronts {
+			comp := longestChunk[f.Front]
+			if comp > f.Dur {
+				comp = f.Dur
+			}
+			stall := f.Dur - comp
+			rep.Steps++
+			rep.ComputeNS += comp
+			rep.StallNS += stall
+			rep.Top = append(rep.Top, CriticalStep{Front: f.Front, ComputeNS: comp, StallNS: stall})
+		}
+		sort.Slice(rep.Top, func(i, j int) bool {
+			if rep.Top[i].StallNS != rep.Top[j].StallNS {
+				return rep.Top[i].StallNS > rep.Top[j].StallNS
+			}
+			return rep.Top[i].Front < rep.Top[j].Front
+		})
+		if len(rep.Top) > topN {
+			rep.Top = rep.Top[:topN]
+		}
+	case rep.InlineNS > 0:
+		rep.Kind = "serial"
+	default:
+		rep.Kind = "none"
+	}
+	return rep
+}
+
+// bandCritical walks the (row, band) DAG backwards from the
+// last-finishing row span: each step's predecessor is the dependency
+// (previous row, same or neighbouring band) that finished last, the gap
+// between that finish and the step's start is attributed to stall.
+func bandCritical(rows []Event, rep CriticalReport) CriticalReport {
+	rep.Kind = "band-path"
+	type key struct {
+		front  int32
+		worker int32
+	}
+	byKey := make(map[key]Event, len(rows))
+	last := rows[0]
+	for _, e := range rows {
+		byKey[key{e.Front, e.Worker}] = e
+		if e.End() > last.End() {
+			last = e
+		}
+	}
+	cur := last
+	for {
+		rep.Steps++
+		rep.ComputeNS += cur.Dur
+		if cur.Front == 0 {
+			break
+		}
+		var pred Event
+		found := false
+		for _, dw := range []int32{cur.Worker - 1, cur.Worker, cur.Worker + 1} {
+			if p, ok := byKey[key{cur.Front - 1, dw}]; ok && (!found || p.End() > pred.End()) {
+				pred, found = p, true
+			}
+		}
+		if !found {
+			break
+		}
+		if gap := cur.TS - pred.End(); gap > 0 {
+			rep.StallNS += gap
+			rep.Top = append(rep.Top, CriticalStep{Front: cur.Front, ComputeNS: cur.Dur, StallNS: gap})
+		}
+		cur = pred
+	}
+	sort.Slice(rep.Top, func(i, j int) bool { return rep.Top[i].StallNS > rep.Top[j].StallNS })
+	if len(rep.Top) > topN {
+		rep.Top = rep.Top[:topN]
+	}
+	return rep
+}
+
+// Span returns the trace span as a duration.
+func (r *Report) Span() time.Duration { return time.Duration(r.SpanNS) }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -26,10 +26,12 @@ package lddp
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/hetsim"
 	"repro/internal/table"
+	"repro/internal/trace"
 )
 
 // Problem is a complete 2-D LDDP problem instance (alias of the internal
@@ -111,6 +113,55 @@ type WorkerStats = core.WorkerStats
 
 // TransferStats reports one simulated transfer to a Collector.
 type TransferStats = core.TransferStats
+
+// Tracer is the per-worker ring-buffer event recorder; attach one with
+// WithTracer to capture timestamped runtime events (front begin/end,
+// chunk claims, barrier waits, lookahead handoffs, simulated transfers).
+// Like Collector, a nil Tracer disables tracing at zero overhead. Export
+// a finished trace with WriteTrace (Chrome/Perfetto JSON) or
+// WriteTraceSummary (plain text); the lddptrace command analyzes the
+// JSON offline.
+type Tracer = trace.Recorder
+
+// TraceEvent is one recorded runtime event.
+type TraceEvent = trace.Event
+
+// TraceMeta describes the solve a trace belongs to.
+type TraceMeta = trace.Meta
+
+// TraceReport is the analyzed view of a trace: per-worker utilization
+// timelines, barrier-stall breakdown, and the critical path through the
+// front DAG.
+type TraceReport = trace.Report
+
+// NewTracer returns a Tracer with the default per-worker ring capacity
+// (trace.DefaultLaneCap events per lane). Rings overwrite their oldest
+// events when full; use NewTracerCap for bigger windows.
+func NewTracer() *Tracer { return trace.NewRecorder(0) }
+
+// NewTracerCap returns a Tracer whose per-worker rings hold laneCap
+// events each (rounded up to a power of two; <= 0 selects the default).
+func NewTracerCap(laneCap int) *Tracer { return trace.NewRecorder(laneCap) }
+
+// WriteTrace writes the recorded events as Chrome trace-event JSON,
+// loadable in ui.perfetto.dev or chrome://tracing. Call only after the
+// solve has returned.
+func WriteTrace(w io.Writer, t *Tracer) error { return trace.WriteChrome(w, t) }
+
+// WriteTraceSummary writes the analyzed trace as a plain-text summary:
+// per-worker utilization with ASCII timelines, barrier-stall breakdown,
+// and the critical-path decomposition.
+func WriteTraceSummary(w io.Writer, t *Tracer) error {
+	return trace.WriteSummary(w, AnalyzeTrace(t, 0))
+}
+
+// AnalyzeTrace computes the analyzed report of a recorded trace;
+// buckets sizes the utilization timeline (<= 0 selects 60).
+func AnalyzeTrace(t *Tracer, buckets int) *TraceReport {
+	meta := t.Meta()
+	meta.Dropped = t.Dropped()
+	return trace.Analyze(meta, t.Events(), buckets)
+}
 
 // Timeline is the resolved schedule of a simulated solve.
 type Timeline = hetsim.Timeline

@@ -3,6 +3,7 @@ package lddp
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"math/bits"
 	"sync"
 	"time"
@@ -220,9 +221,22 @@ func (m *Metrics) MarshalJSON() ([]byte, error) {
 	return json.Marshal(m.Snapshot())
 }
 
+// publishMu serializes the duplicate check in PublishExpvar against
+// concurrent publishes of the same name; expvar.Publish itself panics on
+// duplicates, so the check must be atomic with the registration.
+var publishMu sync.Mutex
+
 // PublishExpvar registers the metrics under the given expvar name, making
-// the live snapshot visible on /debug/vars. Like expvar.Publish it must be
-// called at most once per name per process.
-func (m *Metrics) PublishExpvar(name string) {
+// the live snapshot visible on /debug/vars. Unlike expvar.Publish, a name
+// already taken reports an error instead of panicking (expvar offers no
+// unregister, so re-publishing after a restart-style reinit is a common
+// collision).
+func (m *Metrics) PublishExpvar(name string) error {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("lddp: expvar name %q already published", name)
+	}
 	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+	return nil
 }

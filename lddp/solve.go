@@ -148,6 +148,13 @@ func WithCollector(coll Collector) Option {
 	return func(c *config) { c.opts.Collector = coll }
 }
 
+// WithTracer attaches a runtime event tracer (see NewTracer) to the
+// solve. Nil keeps tracing disabled. The tracer's rings must not be read
+// (WriteTrace, AnalyzeTrace) until Solve has returned.
+func WithTracer(t *Tracer) Option {
+	return func(c *config) { c.opts.Tracer = t }
+}
+
 // WithAccelerators resolves the named accelerator models ("k20", "gt650m",
 // "phi") for the Multi strategy; ordering fixes the device order after the
 // host CPU.
