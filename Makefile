@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench bench-all experiments figures quick cover trace clean
+.PHONY: all build test vet check race bench bench-all experiments figures quick cover trace sched-smoke soak conformance clean
 
 all: build vet test
 
@@ -56,6 +56,23 @@ cover:
 trace:
 	$(GO) run ./cmd/lddprun -problem levenshtein -size 2048 -solver parallel -workers 4 -traceout trace.json
 	$(GO) run ./cmd/lddptrace trace.json
+
+# Scheduler smoke: drive 16 concurrent solves through the shared
+# scheduler via the load driver (exit 1 on any unexpected outcome), then
+# a mixed batch with deadlines exercising cancellation and rejection.
+sched-smoke:
+	$(GO) run ./cmd/lddpserve -mode compare -solves 16 -size 512
+	$(GO) run ./cmd/lddpserve -mix -solves 32 -size 400 -timeout 50ms
+
+# Extended randomized scheduler soak under the race detector (the short
+# soak runs in the normal test pass; this is the long opt-in variant).
+soak:
+	$(GO) test -race -tags soak -run SchedulerSoakLong -timeout 20m ./internal/sched/
+
+# Cross-executor differential conformance suite: all 15 masks x every
+# public executor path x adversarial shapes, under the race detector.
+conformance:
+	$(GO) test -race -run 'Conformance|Metamorphic' -timeout 10m ./internal/core/ ./internal/sched/
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt trace.json

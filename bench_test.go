@@ -12,13 +12,17 @@ package repro
 // is one complete regeneration of that figure's data.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hetsim"
 	"repro/internal/problems"
+	"repro/internal/sched"
 	"repro/internal/table"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -329,6 +333,72 @@ func BenchmarkNativePoolTraceLevenshtein4k(b *testing.B) {
 			rec := trace.NewRecorder(0)
 			if _, err := core.SolveParallelOpt(p, core.Options{Tracer: rec}); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Shared-scheduler multi-solve throughput: one batch iteration is 16
+// concurrent 1024x1024 anti-diagonal solves submitted to one shared
+// scheduler, versus the same 16 solves as back-to-back per-solve pool
+// runs (what a service without the scheduler would do). Run both at the
+// same GOMAXPROCS (use -cpu) to compare aggregate throughput; the
+// recorded numbers live in EXPERIMENTS.md. Worker counts and chunks are
+// pinned equal on both sides so the comparison isolates the scheduling
+// structure, not the configuration.
+func BenchmarkSchedulerBatch16x1024(b *testing.B) {
+	const (
+		batch = 16
+		size  = 1024
+		chunk = 256
+	)
+	workers := runtime.GOMAXPROCS(0)
+	problem := func(k int) *core.Problem[int64] {
+		return &core.Problem[int64]{
+			Name: fmt.Sprintf("batch-%d", k),
+			Rows: size, Cols: size, Deps: core.DepW | core.DepN,
+			F: func(i, j int, nb core.Neighbors[int64]) int64 {
+				return (nb.W*2 + nb.N + int64(i*31+j*17)) % 1_000_003
+			},
+			Boundary:     func(i, j int) int64 { return int64(i + 2*j) },
+			BytesPerCell: 8,
+		}
+	}
+	b.Run("scheduler", func(b *testing.B) {
+		s, err := sched.New(sched.Config{Workers: workers, Chunk: chunk})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.SetBytes(int64(batch) * size * size * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, batch)
+			for k := 0; k < batch; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					_, errs[k] = sched.Solve(context.Background(), s, problem(k), sched.SubmitOptions{})
+				}(k)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		opts := core.Options{NativeWorkers: workers, NativeChunk: chunk}
+		b.SetBytes(int64(batch) * size * size * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < batch; k++ {
+				if _, err := core.SolveParallelOpt(problem(k), opts); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

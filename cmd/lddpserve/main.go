@@ -1,0 +1,281 @@
+// Command lddpserve is the shared-scheduler load driver: it fires a batch
+// of concurrent solve submissions at one lddp.Scheduler and reports
+// aggregate throughput, outcome counts, and scheduler statistics. It is
+// both the CI smoke test for the scheduler under real concurrency and the
+// tool behind the multi-solve throughput numbers in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	lddpserve -solves 16 -size 1024                  # 16 concurrent 1024x1024 solves
+//	lddpserve -mode compare -solves 16 -size 512     # scheduler vs back-to-back Solve
+//	lddpserve -mix -solves 32 -timeout 50ms          # mixed sizes and masks, deadlines
+//	lddpserve -metrics out.json                      # dump the metrics snapshot
+//
+// Exit status is 0 when every submission ends in an expected state (done,
+// or canceled/rejected under -timeout), 1 otherwise.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/lddp"
+)
+
+type options struct {
+	solves  int
+	size    int
+	mask    string
+	mix     bool
+	seed    int64
+	workers int
+	queue   int
+	active  int
+	chunk   int
+	timeout time.Duration
+	mode    string
+	metrics string
+}
+
+func main() {
+	var opts options
+	flag.IntVar(&opts.solves, "solves", 16, "number of concurrent solve submissions")
+	flag.IntVar(&opts.size, "size", 512, "table dimension (rows = cols = size)")
+	flag.StringVar(&opts.mask, "mask", "W,N", "contributing set, e.g. 'W,N' or '{W,NW,NE}'")
+	flag.BoolVar(&opts.mix, "mix", false, "randomize masks and sizes per submission (seeded)")
+	flag.Int64Var(&opts.seed, "seed", 1, "seed for -mix randomization")
+	flag.IntVar(&opts.workers, "workers", 0, "scheduler workers (0 = min(GOMAXPROCS, NumCPU))")
+	flag.IntVar(&opts.queue, "queue", 0, "admission queue bound (0 = default)")
+	flag.IntVar(&opts.active, "active", 0, "max concurrently active solves (0 = default)")
+	flag.IntVar(&opts.chunk, "chunk", 0, "cells per claim chunk (0 = default)")
+	flag.DurationVar(&opts.timeout, "timeout", 0, "per-submission deadline (0 = none)")
+	flag.StringVar(&opts.mode, "mode", "sched", "sched | seq | compare")
+	flag.StringVar(&opts.metrics, "metrics", "", "write the metrics JSON snapshot to this file")
+	flag.Parse()
+	if err := run(opts, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lddpserve:", err)
+		os.Exit(1)
+	}
+}
+
+// workItem is one submission of the batch.
+type workItem struct {
+	problem *lddp.Problem[int64]
+	cells   int64
+}
+
+// buildBatch materializes the submission list. With -mix, masks and sizes
+// are drawn from the seeded generator; otherwise every submission is the
+// same size x size problem on the flag mask.
+func buildBatch(opts options) ([]workItem, error) {
+	mask, err := lddp.ParseDepMask(opts.mask)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.seed))
+	masks := lddp.AllDepMasks()
+	items := make([]workItem, opts.solves)
+	for k := range items {
+		m, size := mask, opts.size
+		if opts.mix {
+			m = masks[rng.Intn(len(masks))]
+			size = 1 + rng.Intn(opts.size)
+		}
+		items[k] = workItem{problem: loadProblem(m, size, size), cells: int64(size) * int64(size)}
+	}
+	return items, nil
+}
+
+// loadProblem builds the driver's benchmark recurrence: every contributing
+// neighbour feeds the cell through cheap integer mixing — add/xor only, the
+// cost class of real DP kernels (min/max + add), the same work per cell
+// regardless of mask. int64 overflow wraps, which is fine for a load test.
+func loadProblem(m lddp.DepMask, rows, cols int) *lddp.Problem[int64] {
+	return &lddp.Problem[int64]{
+		Name: fmt.Sprintf("serve-%s-%dx%d", m, rows, cols),
+		Rows: rows, Cols: cols, Deps: m,
+		F: func(i, j int, nb lddp.Neighbors[int64]) int64 {
+			v := int64(i*31 + j*17)
+			if m.Has(lddp.DepW) {
+				v += 2*nb.W + 1
+			}
+			if m.Has(lddp.DepNW) {
+				v += 3 * nb.NW
+			}
+			if m.Has(lddp.DepN) {
+				v += nb.N ^ 9
+			}
+			if m.Has(lddp.DepNE) {
+				v += nb.NE - 7
+			}
+			return v
+		},
+		Boundary:     func(i, j int) int64 { return int64(i + 2*j) },
+		BytesPerCell: 8,
+	}
+}
+
+// outcome tallies one batch run.
+type outcome struct {
+	done, canceled, rejected, failed int
+	cells                            int64
+	elapsed                          time.Duration
+}
+
+func (o outcome) throughput() float64 {
+	if o.elapsed <= 0 {
+		return 0
+	}
+	return float64(o.cells) / o.elapsed.Seconds()
+}
+
+func run(opts options, out io.Writer) error {
+	switch opts.mode {
+	case "sched", "seq", "compare":
+	default:
+		return fmt.Errorf("unknown -mode %q (want sched, seq or compare)", opts.mode)
+	}
+	if opts.solves <= 0 || opts.size <= 0 {
+		return fmt.Errorf("-solves and -size must be positive")
+	}
+	items, err := buildBatch(opts)
+	if err != nil {
+		return err
+	}
+
+	var schedRes, seqRes outcome
+	metrics := &lddp.Metrics{}
+	if opts.mode != "sched" {
+		seqRes = runSequential(opts, items)
+		fmt.Fprintf(out, "seq:   %d solves, %d done, %d canceled, %.3gs, %.3g cells/s\n",
+			opts.solves, seqRes.done, seqRes.canceled, seqRes.elapsed.Seconds(), seqRes.throughput())
+	}
+	if opts.mode != "seq" {
+		s, err := lddp.NewScheduler(
+			lddp.WithSchedulerWorkers(opts.workers),
+			lddp.WithSchedulerQueue(opts.queue),
+			lddp.WithSchedulerMaxActive(opts.active),
+			lddp.WithSchedulerChunk(opts.chunk),
+			lddp.WithSchedulerCollector(metrics),
+		)
+		if err != nil {
+			return err
+		}
+		schedRes = runScheduled(opts, s, items)
+		st := s.Stats()
+		s.Close()
+		fmt.Fprintf(out, "sched: %d solves, %d done, %d canceled, %d rejected, %.3gs, %.3g cells/s\n",
+			opts.solves, schedRes.done, schedRes.canceled, schedRes.rejected,
+			schedRes.elapsed.Seconds(), schedRes.throughput())
+		fmt.Fprintf(out, "sched: %d steals, peak queue %d, peak active %d, workers %d\n",
+			st.Steals, st.PeakQueueDepth, st.PeakActive, len(st.Workers))
+	}
+	if opts.mode == "compare" && seqRes.throughput() > 0 {
+		fmt.Fprintf(out, "compare: scheduler/sequential throughput ratio %.2fx\n",
+			schedRes.throughput()/seqRes.throughput())
+	}
+	if opts.metrics != "" {
+		doc, err := json.MarshalIndent(metrics.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.metrics, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", opts.metrics)
+	}
+
+	failed := schedRes.failed + seqRes.failed
+	if failed > 0 {
+		return fmt.Errorf("%d submissions failed unexpectedly", failed)
+	}
+	if opts.timeout == 0 && opts.mode != "seq" && schedRes.done != opts.solves {
+		return fmt.Errorf("without -timeout all %d submissions must complete; %d did", opts.solves, schedRes.done)
+	}
+	return nil
+}
+
+// runScheduled fires every submission at the shared scheduler at once and
+// waits for all outcomes.
+func runScheduled(opts options, s *lddp.Scheduler, items []workItem) outcome {
+	var (
+		res outcome
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+	)
+	start := time.Now()
+	for _, it := range items {
+		wg.Add(1)
+		go func(it workItem) {
+			defer wg.Done()
+			ctx := context.Background()
+			if opts.timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+				defer cancel()
+			}
+			_, err := lddp.SolveOn(ctx, s, it.problem)
+			mu.Lock()
+			defer mu.Unlock()
+			var rej *lddp.Rejected
+			var can *lddp.Canceled
+			switch {
+			case err == nil:
+				res.done++
+				res.cells += it.cells
+			case errors.As(err, &rej):
+				res.rejected++
+			case errors.As(err, &can):
+				res.canceled++
+			default:
+				res.failed++
+				fmt.Fprintf(os.Stderr, "lddpserve: %s: unexpected error: %v\n", it.problem.Name, err)
+			}
+		}(it)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+// runSequential is the baseline: the same batch as back-to-back
+// lddp.Solve calls, each with its own per-solve pool — what a service
+// without the scheduler would do.
+func runSequential(opts options, items []workItem) outcome {
+	var res outcome
+	start := time.Now()
+	for _, it := range items {
+		ctx := context.Background()
+		if opts.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+			defer cancel()
+		}
+		solveOpts := []lddp.Option{lddp.WithWorkers(opts.workers)}
+		if opts.chunk > 0 {
+			solveOpts = append(solveOpts, lddp.WithChunk(opts.chunk))
+		}
+		_, err := lddp.Solve(ctx, it.problem, solveOpts...)
+		var can *lddp.Canceled
+		switch {
+		case err == nil:
+			res.done++
+			res.cells += it.cells
+		case errors.As(err, &can):
+			res.canceled++
+		default:
+			res.failed++
+			fmt.Fprintf(os.Stderr, "lddpserve: %s: unexpected error: %v\n", it.problem.Name, err)
+		}
+	}
+	res.elapsed = time.Since(start)
+	return res
+}

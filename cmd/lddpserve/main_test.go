@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunSchedMode(t *testing.T) {
+	var out strings.Builder
+	opts := options{solves: 8, size: 96, mask: "W,N", seed: 1, mode: "sched", workers: 2}
+	if err := run(opts, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "sched: 8 solves, 8 done") {
+		t.Errorf("output missing completed batch line:\n%s", got)
+	}
+}
+
+func TestRunCompareModeWritesRatioAndMetrics(t *testing.T) {
+	var out strings.Builder
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
+	opts := options{
+		solves: 4, size: 64, mask: "W,NW,N", seed: 1,
+		mode: "compare", workers: 2, metrics: metricsPath,
+	}
+	if err := run(opts, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "compare: scheduler/sequential throughput ratio") {
+		t.Errorf("output missing compare line:\n%s", got)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("metrics file is not JSON: %v", err)
+	}
+	sched, ok := doc["sched"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics document has no sched section: %s", data)
+	}
+	if sched["done"].(float64) != 4 {
+		t.Errorf("metrics sched.done = %v, want 4", sched["done"])
+	}
+}
+
+func TestRunMixWithDeadlines(t *testing.T) {
+	var out strings.Builder
+	opts := options{
+		solves: 12, size: 128, mask: "W,N", mix: true, seed: 7,
+		mode: "sched", workers: 2, timeout: 5 * time.Millisecond,
+	}
+	// With deadlines, canceled/rejected outcomes are expected and must
+	// not fail the run; only unexpected error types do.
+	if err := run(opts, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(options{solves: 4, size: 32, mask: "W,N", mode: "nope"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run(options{solves: 0, size: 32, mask: "W,N", mode: "sched"}, &out); err == nil {
+		t.Error("zero solves accepted")
+	}
+	if err := run(options{solves: 1, size: 32, mask: "E,Q", mode: "sched"}, &out); err == nil {
+		t.Error("bad mask accepted")
+	}
+}

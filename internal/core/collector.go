@@ -44,8 +44,13 @@ type Collector interface {
 // SolveInfo describes a starting solve.
 type SolveInfo struct {
 	// Solver is the executor name: "sequential", "pool", "bands", "tiled",
-	// "hetero", "cpu-only", "gpu-only", "multi", ...
+	// "hetero", "cpu-only", "gpu-only", "multi", "sched", ...
 	Solver string
+	// ID is the per-solve identifier assigned by the shared scheduler
+	// (internal/sched); 0 for solves run directly through an executor.
+	// It ties a solve's Collector events to its SchedEvent lifecycle and
+	// to its trace.
+	ID int64
 	// Problem is the Problem.Name (may be empty).
 	Problem string
 	// Pattern is the problem's Table-I dependency pattern; Executed is the
@@ -89,6 +94,76 @@ type TransferStats struct {
 	// Bytes is the transfer size; Cells the cell count for boundary
 	// exchanges (0 for pure byte-sized bulk moves).
 	Bytes, Cells int
+}
+
+// SchedEventKind classifies a scheduler lifecycle event.
+type SchedEventKind uint8
+
+const (
+	// SchedEnqueued: the submission entered the admission queue.
+	SchedEnqueued SchedEventKind = iota
+	// SchedStarted: a worker admitted the submission; Wait carries its
+	// time in queue.
+	SchedStarted
+	// SchedDone: the solve completed successfully.
+	SchedDone
+	// SchedCanceled: the solve was interrupted mid-run by its context.
+	SchedCanceled
+	// SchedRejected: the submission was refused admission (queue full,
+	// scheduler closed, or its context expired while still queued).
+	SchedRejected
+	// SchedSteal: a worker switched to this solve from a different one
+	// (a cross-solve steal).
+	SchedSteal
+)
+
+var schedEventNames = [...]string{
+	SchedEnqueued: "enqueued",
+	SchedStarted:  "started",
+	SchedDone:     "done",
+	SchedCanceled: "canceled",
+	SchedRejected: "rejected",
+	SchedSteal:    "steal",
+}
+
+// String returns the stable lowercase name of the event kind.
+func (k SchedEventKind) String() string {
+	if int(k) < len(schedEventNames) {
+		return schedEventNames[k]
+	}
+	return "unknown"
+}
+
+// SchedEvent is one scheduler lifecycle event for one submission.
+type SchedEvent struct {
+	// ID is the submission's scheduler-assigned solve ID (matches
+	// SolveInfo.ID of the corresponding SolveStart).
+	ID int64
+	// Kind classifies the event.
+	Kind SchedEventKind
+	// QueueDepth is the admission-queue depth observed when the event
+	// fired (after the event's own enqueue/dequeue took effect).
+	QueueDepth int
+	// Active is the number of concurrently executing solves at the event.
+	Active int
+	// Wait is the submission's time in queue; set on SchedStarted and on
+	// SchedRejected for queue-expiry rejections.
+	Wait time.Duration
+	// Cells is the submission's total cell count.
+	Cells int64
+}
+
+// SchedCollector is optionally implemented by Collectors that want the
+// shared scheduler's lifecycle events (queue depth, time-in-queue,
+// cross-solve steals) in addition to the per-solve events of Collector.
+// The scheduler type-asserts its configured Collector against this
+// interface; plain Collectors just miss the SchedEvent stream.
+type SchedCollector interface {
+	Collector
+	// SchedEvent reports one scheduler lifecycle event. Events for one
+	// submission arrive in lifecycle order, but events of different
+	// submissions interleave; implementations must synchronize.
+	SchedEvent(ev SchedEvent)
 }
 
 // emitTimelinePhases reports the simulated wall-clock span of each

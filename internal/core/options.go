@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/hetsim"
 	"repro/internal/table"
 	"repro/internal/trace"
@@ -86,6 +88,29 @@ type Options struct {
 	// Nil — the default — disables tracing; the hot paths guard every
 	// emission behind one nil test, like Collector.
 	Tracer *trace.Recorder
+}
+
+// Native-runtime knob ceilings enforced by Validate. Values past these are
+// configuration mistakes, not tuning choices: no host has 2^10 physical
+// cores to keep busy, and a chunk past 2^26 cells stops being a chunk.
+const (
+	MaxNativeWorkers = 1 << 10
+	MaxNativeChunk   = 1 << 26
+)
+
+// Validate checks the native runtime knobs. Zero and negative values are
+// legal (they select the documented defaults, matching the rest of the
+// Options convention); values beyond the Max ceilings return an error.
+// The simulated-platform knobs (TSwitch, TShare) are clamped rather than
+// validated — see the range note at the bottom of this file.
+func (o Options) Validate() error {
+	if o.NativeWorkers > MaxNativeWorkers {
+		return fmt.Errorf("core: NativeWorkers %d exceeds limit %d", o.NativeWorkers, MaxNativeWorkers)
+	}
+	if o.NativeChunk > MaxNativeChunk {
+		return fmt.Errorf("core: NativeChunk %d exceeds limit %d", o.NativeChunk, MaxNativeChunk)
+	}
+	return nil
 }
 
 // withDefaults resolves nil/auto fields against a problem's executed

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"repro/internal/table"
+)
+
+// Workload is the untyped execution view of a native solve: a wavefront
+// iteration space plus the chunk kernel that computes it, with the cell
+// type erased behind closures. It is what the process-wide scheduler
+// (internal/sched) consumes — the scheduler interleaves chunks of many
+// Workloads on one worker set and cannot be generic over every
+// submission's cell type.
+//
+// The contract mirrors runWavefronts: Size(t) is the cell count of front
+// t for t in [0, Fronts); Run(t, lo, hi) computes cells [lo, hi) of front
+// t and is safe for concurrent calls on disjoint ranges of one front;
+// fronts must be executed in order, and front t+1 may only start after
+// every cell of front t has been computed.
+type Workload struct {
+	// Info describes the solve for Collector wiring. Solver is "sched";
+	// ID and Workers are filled in by the scheduler at admission.
+	Info SolveInfo
+	// Fronts is the number of wavefronts.
+	Fronts int
+	// TotalCells is the table's cell count, used for size-aware admission
+	// priority.
+	TotalCells int64
+	// Size returns the cell count of front t.
+	Size func(t int) int
+	// Run computes cells [lo, hi) of front t.
+	Run func(t, lo, hi int)
+}
+
+// NewWorkload builds the Workload of a problem's native solve together
+// with the finish function that returns the computed grid (applying the
+// symmetry-reduction undo). The grid is only valid after the scheduler
+// reports the submission done; an abandoned or canceled workload's grid
+// must be discarded.
+func NewWorkload[T any](p *Problem[T], opts Options) (*Workload, func() *table.Grid[T], error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cp, canonical, _, undo := canonicalize(p)
+	w := NewWavefronts(canonical, cp.Rows, cp.Cols)
+	g := table.NewGrid[T](cp.Rows, cp.Cols, nil)
+	run := frontRunner(cp, w, g)
+	wl := &Workload{
+		Info: SolveInfo{
+			Solver: "sched", Problem: p.Name,
+			Pattern: Classify(p.Deps).String(), Executed: canonical.String(),
+			Rows: cp.Rows, Cols: cp.Cols, Fronts: w.Fronts,
+		},
+		Fronts:     w.Fronts,
+		TotalCells: int64(cp.Rows) * int64(cp.Cols),
+		Size:       w.Size,
+		Run:        run,
+	}
+	return wl, func() *table.Grid[T] { return undo(g) }, nil
+}

@@ -1,0 +1,216 @@
+// Package sched implements the process-wide solver scheduler: one
+// long-lived worker pool shared by many concurrent LDDP solves.
+//
+// The per-solve pool of internal/core (pool.go) saturates a machine for a
+// single wide solve but serves a solve-heavy service badly: every Solve
+// call spins workers up and tears them down, and the narrow fronts at the
+// start and end of every grow-shrink pattern leave most of the pool idle
+// behind a barrier. The scheduler inverts the structure, following the
+// pipelined/processor-aware DP scheduling line of work (Matsumae &
+// Miyazaki; Tang): workers are started once per scheduler and pull chunks
+// from *whichever* admitted solve has claimable work, so one solve's
+// narrow-front region is covered by another solve's bulk. There is no
+// per-front barrier at all — a worker that cannot claim from solve A
+// steals from solve B, and only parks when no admitted solve has work.
+//
+// Admission control protects the pool: submissions wait in a bounded FIFO
+// queue (overflow is a typed *Rejected error, not a block), a submission
+// whose context expires while still queued is rejected without running,
+// and small solves may jump a bounded number of queue positions so an 8k
+// x 8k table does not starve interactive-sized tables (fairness is
+// preserved: the jump is bounded, so every submission is admitted after
+// at most SmallBoost later-arriving small solves).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config field ceilings enforced by Validate. Values past these are
+// configuration mistakes rather than tuning choices and are rejected, not
+// clamped: a silent clamp would hide the mistake from the service
+// operator.
+const (
+	// MaxWorkers bounds the shared pool size.
+	MaxWorkers = 1 << 10
+	// MaxQueueBound bounds the admission queue depth.
+	MaxQueueBound = 1 << 20
+	// MaxActiveBound bounds the concurrently-executing solve count.
+	MaxActiveBound = 1 << 14
+	// MaxChunk bounds the cells-per-claim chunk (scheduler-wide and
+	// per-submission).
+	MaxChunk = core.MaxNativeChunk
+	// MaxSmallBoost bounds the queue positions a small solve may jump.
+	MaxSmallBoost = 1 << 20
+)
+
+// Defaults selected by zero/negative Config fields.
+const (
+	// DefaultQueueBound is the admission queue depth.
+	DefaultQueueBound = 256
+	// DefaultSmallCells is the cell count at or below which a submission
+	// counts as small for admission priority (a 256 x 256 table).
+	DefaultSmallCells = 1 << 16
+	// DefaultSmallBoost is the number of queue positions a small
+	// submission may jump.
+	DefaultSmallBoost = 8
+	// defaultChunk matches the per-solve pool's chunk default.
+	defaultChunk = 512
+)
+
+// Config configures a Scheduler. The zero value selects all defaults:
+// min(GOMAXPROCS, NumCPU) workers, twice that many concurrently active
+// solves, a 256-deep admission queue, 512-cell chunks, and small-solve
+// priority at the 256x256 threshold with a bounded 8-position jump.
+type Config struct {
+	// Workers is the shared pool size. <= 0 selects
+	// min(runtime.GOMAXPROCS(0), runtime.NumCPU()), the same default as
+	// the per-solve pool.
+	Workers int
+
+	// QueueBound is the admission queue depth; a Submit that would exceed
+	// it returns a *Rejected wrapping ErrQueueFull. <= 0 selects
+	// DefaultQueueBound.
+	QueueBound int
+
+	// MaxActive is the maximum number of solves executing concurrently.
+	// More active solves than workers keeps workers busy across one
+	// solve's narrow-front regions, so the default is 2*Workers. <= 0
+	// selects the default.
+	MaxActive int
+
+	// Chunk is the default cells-per-claim chunk for submissions that do
+	// not set their own; it doubles as the inline cutoff below which a
+	// front is executed by the advancing worker without publication.
+	// <= 0 selects 512 (the per-solve pool default).
+	Chunk int
+
+	// SmallCells is the total-cell threshold at or below which a
+	// submission counts as small for admission priority. <= 0 selects
+	// DefaultSmallCells.
+	SmallCells int64
+
+	// SmallBoost is the number of arrival positions a small submission
+	// may jump in the admission queue; 0 or negative selects
+	// DefaultSmallBoost. Fairness bound: a large submission is passed by
+	// at most the small solves that arrive within SmallBoost positions
+	// of it.
+	SmallBoost int
+
+	// Collector receives the per-solve Collector events of every
+	// admitted solve (SolveStart with the scheduler-assigned SolveInfo.ID,
+	// FrontSize, SolveEnd). A Collector that also implements
+	// core.SchedCollector additionally receives the SchedEvent lifecycle
+	// stream (queue depth, time-in-queue, cross-solve steals). Nil
+	// disables instrumentation.
+	Collector core.Collector
+}
+
+// Validate checks the configuration. Zero and negative values are legal
+// (they select the documented defaults); values beyond the Max ceilings
+// return an error. Validate never panics for any input.
+func (c Config) Validate() error {
+	if c.Workers > MaxWorkers {
+		return fmt.Errorf("sched: Workers %d exceeds limit %d", c.Workers, MaxWorkers)
+	}
+	if c.QueueBound > MaxQueueBound {
+		return fmt.Errorf("sched: QueueBound %d exceeds limit %d", c.QueueBound, MaxQueueBound)
+	}
+	if c.MaxActive > MaxActiveBound {
+		return fmt.Errorf("sched: MaxActive %d exceeds limit %d", c.MaxActive, MaxActiveBound)
+	}
+	if c.Chunk > MaxChunk {
+		return fmt.Errorf("sched: Chunk %d exceeds limit %d", c.Chunk, MaxChunk)
+	}
+	if c.SmallBoost > MaxSmallBoost {
+		return fmt.Errorf("sched: SmallBoost %d exceeds limit %d", c.SmallBoost, MaxSmallBoost)
+	}
+	return nil
+}
+
+// withDefaults resolves zero/negative fields to the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = min(runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+	if c.QueueBound <= 0 {
+		c.QueueBound = DefaultQueueBound
+	}
+	if c.MaxActive <= 0 {
+		c.MaxActive = 2 * c.Workers
+	}
+	if c.Chunk <= 0 {
+		c.Chunk = defaultChunk
+	}
+	if c.SmallCells <= 0 {
+		c.SmallCells = DefaultSmallCells
+	}
+	if c.SmallBoost <= 0 {
+		c.SmallBoost = DefaultSmallBoost
+	}
+	return c
+}
+
+// Rejection causes, surfaced through Rejected.Err (use errors.Is on the
+// returned error).
+var (
+	// ErrQueueFull: the admission queue was at QueueBound.
+	ErrQueueFull = errors.New("sched: admission queue full")
+	// ErrClosed: the scheduler had been closed.
+	ErrClosed = errors.New("sched: scheduler closed")
+)
+
+// Rejected is the error of a submission that was refused admission and
+// never ran: the queue was full, the scheduler was closed, or the
+// submission's context ended while it was still queued (Err then wraps
+// the context cause). A solve interrupted *after* admission returns
+// *core.Canceled instead — the two types partition the non-success
+// outcomes into "never ran" and "partially ran".
+type Rejected struct {
+	// ID is the submission's scheduler-assigned ID (0 when rejected
+	// before one was assigned).
+	ID int64
+	// QueueDepth is the admission-queue depth observed at rejection.
+	QueueDepth int
+	// Err is the cause: ErrQueueFull, ErrClosed, or the submission
+	// context's cause for queue expiry.
+	Err error
+}
+
+func (r *Rejected) Error() string {
+	return fmt.Sprintf("sched: submission %d rejected (queue depth %d): %v", r.ID, r.QueueDepth, r.Err)
+}
+
+// Unwrap exposes the cause for errors.Is chains.
+func (r *Rejected) Unwrap() error { return r.Err }
+
+// Stats is a point-in-time snapshot of a Scheduler's counters.
+type Stats struct {
+	// Submitted counts accepted submissions; Rejected refused ones
+	// (including queue expiries). Done and Canceled count finished
+	// admitted solves. Submitted = Done + Canceled + queued + active +
+	// (Rejected - synchronous rejections).
+	Submitted, Done, Canceled, Rejected int64
+	// Steals counts cross-solve steals: a worker claiming work from a
+	// different solve than its previous claim while both were admitted.
+	Steals int64
+	// QueueDepth and Active are the instantaneous queue and running-set
+	// sizes; PeakQueueDepth and PeakActive their high-water marks.
+	QueueDepth, Active         int
+	PeakQueueDepth, PeakActive int
+	// Workers reports each worker's cumulative load across all solves.
+	Workers []WorkerLoad
+}
+
+// WorkerLoad is one scheduler worker's cumulative load.
+type WorkerLoad struct {
+	// Chunks counts claimed chunks plus inline-advanced fronts; Cells
+	// the cells computed; Busy the time inside the compute kernel.
+	Chunks, Cells int64
+	Busy          time.Duration
+}

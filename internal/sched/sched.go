@@ -1,0 +1,639 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/table"
+	"repro/internal/trace"
+)
+
+// The execution model, in one paragraph: every admitted solve exposes its
+// current wavefront as an atomic-ish cursor (guarded, like all scheduler
+// state, by one mutex — a chunk is hundreds of cells, so the critical
+// sections are a vanishing fraction of the work). Workers claim
+// [cursor, cursor+chunk) spans from whichever admitted solve has claimable
+// work, preferring the solve they claimed from last (cache affinity) and
+// counting a cross-solve steal when they switch. The worker that completes
+// the last outstanding chunk of a front advances the solve: fronts at or
+// below one chunk are executed inline (with a budget, so one narrow solve
+// cannot monopolize a worker), and the first front wide enough to share is
+// published for claiming. There is no barrier and no parked-worker
+// protocol — a front boundary in solve A costs A's workers nothing, they
+// just claim from solve B until A's next front opens.
+
+// inlineBudget is the number of at-or-below-chunk fronts one advance call
+// may execute before it must publish the next front for claiming. The
+// publication point lets other workers (or this one, after a scheduling
+// round) interleave other solves, which keeps narrow solves from pinning
+// a worker on few-core hosts.
+const inlineBudget = 32
+
+type jobState uint8
+
+const (
+	stateQueued jobState = iota
+	stateActive
+	stateFinal
+)
+
+// job is one submission's scheduler state. Immutable fields are set at
+// Submit; everything below the marker is guarded by the scheduler mutex.
+type job struct {
+	id    int64
+	seq   int64
+	small bool
+	chunk int
+
+	wl      *core.Workload
+	ctx     context.Context
+	ctxDone <-chan struct{}
+	tracer  *trace.Recorder
+	enq     time.Time
+	done    chan struct{}
+
+	// Guarded by Scheduler.mu.
+	state     jobState
+	err       error
+	lanes     []*trace.Lane
+	front     int
+	size      int
+	cursor    int
+	pending   int  // chunks of the current front still in flight
+	advancing bool // a worker is running the inline ramp / publishing
+	canceled  bool
+	frontT0   time.Time
+}
+
+// Scheduler is the process-wide solver scheduler: a long-lived shared
+// worker pool accepting concurrent solve submissions. Create one with New,
+// submit with Submit (or the generic Solve helper), and Close it to drain.
+// All methods are safe for concurrent use.
+type Scheduler struct {
+	cfg       Config
+	schedColl core.SchedCollector // cfg.Collector, if it implements the extension
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*job // admission queue, picked by score (FIFO + small boost)
+	active []*job // solves currently executing
+	loads  []WorkerLoad
+	stats  Stats // counters only; Stats() fills the instantaneous fields
+	nextID int64
+	rr     int // round-robin start of the claim scan
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a Scheduler with cfg.Workers long-lived workers. The
+// configuration is validated first; a Scheduler is always returned with a
+// nil error otherwise, already accepting submissions.
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rcfg := cfg.withDefaults()
+	s := &Scheduler{cfg: rcfg, loads: make([]WorkerLoad, rcfg.Workers)}
+	s.schedColl, _ = rcfg.Collector.(core.SchedCollector)
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(rcfg.Workers)
+	for w := 0; w < rcfg.Workers; w++ {
+		go s.worker(w)
+	}
+	return s, nil
+}
+
+// Config returns the resolved configuration (defaults filled in).
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Close stops admission and drains: queued and active solves still run to
+// completion (or cancellation), and Close returns once every worker has
+// exited. Submissions after Close are rejected with ErrClosed. Close is
+// idempotent only in effect — call it once.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns a point-in-time snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.QueueDepth = len(s.queue)
+	st.Active = len(s.active)
+	st.Workers = append([]WorkerLoad(nil), s.loads...)
+	return st
+}
+
+// SubmitOptions are the per-submission knobs.
+type SubmitOptions struct {
+	// Chunk overrides the scheduler's cells-per-claim chunk (and inline
+	// cutoff) for this submission; <= 0 inherits Config.Chunk.
+	Chunk int
+	// Tracer records this submission's runtime events: the queue wait
+	// (KindQueue), chunk claims, inline fronts, front completions, and
+	// cross-solve steals (KindSteal). Lanes index the scheduler's global
+	// workers. Nil disables tracing. The tracer must not be read until
+	// the submission has finished.
+	Tracer *trace.Recorder
+}
+
+// Handle tracks one accepted submission.
+type Handle struct {
+	s *Scheduler
+	j *job
+}
+
+// ID returns the scheduler-assigned solve ID (matches SolveInfo.ID and
+// the SchedEvent stream).
+func (h *Handle) ID() int64 { return h.j.id }
+
+// Done returns a channel closed when the submission reaches its end
+// state; Err is valid after that.
+func (h *Handle) Done() <-chan struct{} { return h.j.done }
+
+// Err returns the submission's outcome: nil (done), *core.Canceled
+// (interrupted mid-run), or *Rejected (never ran). Only valid after Done
+// is closed.
+func (h *Handle) Err() error { return h.j.err }
+
+// Wait blocks until the submission reaches its end state and returns its
+// outcome. If the submission's context ends first, Wait cancels the
+// submission (a queued one is rejected immediately; a running one stops
+// at chunk granularity) and still waits for the end state, so the result
+// is always one of {nil, *core.Canceled, *Rejected}.
+func (h *Handle) Wait() error {
+	j := h.j
+	select {
+	case <-j.done:
+	case <-j.ctxDone:
+		h.s.cancel(j)
+		<-j.done
+	}
+	return j.err
+}
+
+// Submit enqueues a workload for execution. The returned Handle reports
+// the outcome; a nil Handle and a *Rejected error mean the submission was
+// refused synchronously (queue full, scheduler closed, or the context
+// already ended). ctx governs both the queue wait and the run: a deadline
+// or cancellation while queued rejects the submission without running it,
+// and one mid-run cancels the solve at chunk granularity.
+func (s *Scheduler) Submit(ctx context.Context, wl *core.Workload, opts SubmitOptions) (*Handle, error) {
+	if wl == nil || wl.Size == nil || wl.Run == nil || wl.Fronts < 0 {
+		return nil, fmt.Errorf("sched: invalid workload")
+	}
+	chunk := opts.Chunk
+	if chunk <= 0 {
+		chunk = s.cfg.Chunk
+	}
+	if chunk > MaxChunk {
+		return nil, fmt.Errorf("sched: submission chunk %d exceeds limit %d", chunk, MaxChunk)
+	}
+	j := &job{
+		chunk:   chunk,
+		wl:      wl,
+		ctx:     ctx,
+		ctxDone: ctxDoneChan(ctx),
+		tracer:  opts.Tracer,
+		enq:     time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.nextID++
+	j.id = s.nextID
+	j.seq = s.nextID
+	j.small = wl.TotalCells <= s.cfg.SmallCells
+	if reason := s.refusalLocked(j); reason != nil {
+		depth := len(s.queue)
+		s.stats.Rejected++
+		s.schedEventLocked(j, core.SchedRejected, time.Since(j.enq))
+		s.mu.Unlock()
+		return nil, &Rejected{ID: j.id, QueueDepth: depth, Err: reason}
+	}
+	s.queue = append(s.queue, j)
+	s.stats.Submitted++
+	if d := len(s.queue); d > s.stats.PeakQueueDepth {
+		s.stats.PeakQueueDepth = d
+	}
+	s.schedEventLocked(j, core.SchedEnqueued, 0)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return &Handle{s: s, j: j}, nil
+}
+
+// refusalLocked returns the reason a new submission cannot be queued, or
+// nil if it can.
+func (s *Scheduler) refusalLocked(j *job) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.queue) >= s.cfg.QueueBound {
+		return ErrQueueFull
+	}
+	if isDone(j.ctxDone) {
+		return ctxCause(j.ctx)
+	}
+	return nil
+}
+
+// Solve submits p to the scheduler and waits for the computed grid: the
+// scheduler-side analogue of core.SolveParallelContext. The error is nil,
+// *core.Canceled, *Rejected, or a validation error from the problem
+// itself.
+func Solve[T any](ctx context.Context, s *Scheduler, p *core.Problem[T], opts SubmitOptions) (*table.Grid[T], error) {
+	wl, finish, err := core.NewWorkload(p, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.Submit(ctx, wl, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Wait(); err != nil {
+		return nil, err
+	}
+	return finish(), nil
+}
+
+// cancel transitions a submission toward its end state after its context
+// ended: a queued submission is rejected on the spot (it never ran), an
+// active one is marked canceled and finalized once its in-flight chunks
+// drain (the workers running them notice at completion).
+func (s *Scheduler) cancel(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.state {
+	case stateQueued:
+		s.finalizeLocked(j, &Rejected{ID: j.id, QueueDepth: len(s.queue) - 1, Err: ctxCause(j.ctx)})
+	case stateActive:
+		j.canceled = true
+		if j.pending == 0 && !j.advancing {
+			s.finalizeLocked(j, s.canceledErr(j, j.front))
+		}
+	}
+}
+
+// worker is the shared pool worker loop: admit, claim, run, advance —
+// parking only when no admitted solve has claimable work.
+func (s *Scheduler) worker(w int) {
+	defer s.wg.Done()
+	var last *job // affinity: the solve this worker last claimed from
+	s.mu.Lock()
+	for {
+		s.sweepLocked()
+		if len(s.queue) > 0 && len(s.active) < s.cfg.MaxActive {
+			if j := s.admitLocked(w); j != nil {
+				last = j
+			}
+			continue
+		}
+		if j, t, lo, hi := s.claimLocked(w, last); j != nil {
+			last = j
+			s.mu.Unlock()
+			t0 := time.Now()
+			j.wl.Run(t, lo, hi)
+			dur := time.Since(t0)
+			if j.lanes != nil {
+				j.lanes[w].SpanFrom(trace.KindChunk, t, int64(lo), int64(hi), t0)
+			}
+			s.mu.Lock()
+			s.loads[w].Chunks++
+			s.loads[w].Cells += int64(hi - lo)
+			s.loads[w].Busy += dur
+			s.completeLocked(j, w)
+			continue
+		}
+		if s.closed && len(s.queue) == 0 && len(s.active) == 0 {
+			break
+		}
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// sweepLocked retires active solves whose context ended while they had no
+// chunks in flight (nobody would otherwise notice a dead solve that no
+// worker is touching).
+func (s *Scheduler) sweepLocked() {
+	for i := 0; i < len(s.active); {
+		j := s.active[i]
+		if j.state == stateActive && !j.advancing && (j.canceled || isDone(j.ctxDone)) {
+			j.canceled = true
+			if j.pending == 0 {
+				s.finalizeLocked(j, s.canceledErr(j, j.front))
+				continue // finalize swap-removed index i; re-examine it
+			}
+		}
+		i++
+	}
+}
+
+// admitLocked activates the best queued submission, discarding queued
+// submissions whose context already ended. Returns the admitted job, or
+// nil when the queue held only dead entries.
+func (s *Scheduler) admitLocked(w int) *job {
+	for {
+		j := s.pickLocked()
+		if j == nil {
+			return nil
+		}
+		if isDone(j.ctxDone) {
+			s.finalizeLocked(j, &Rejected{ID: j.id, QueueDepth: len(s.queue), Err: ctxCause(j.ctx)})
+			continue
+		}
+		s.activateLocked(j, w)
+		return j
+	}
+}
+
+// pickLocked removes and returns the queued submission with the smallest
+// admission score: arrival order, minus a bounded jump for small solves.
+// A large solve is therefore passed by at most the small solves arriving
+// within SmallBoost positions of it — FIFO with bounded inversion, never
+// starvation.
+func (s *Scheduler) pickLocked() *job {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	best := 0
+	bestKey := s.queue[0].score(s.cfg.SmallBoost)
+	for i := 1; i < len(s.queue); i++ {
+		if k := s.queue[i].score(s.cfg.SmallBoost); k < bestKey {
+			best, bestKey = i, k
+		}
+	}
+	j := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return j
+}
+
+// score is the admission priority key (smaller runs sooner).
+func (j *job) score(boost int) int64 {
+	k := j.seq
+	if j.small {
+		k -= int64(boost)
+	}
+	return k
+}
+
+// activateLocked moves a picked submission into the running set, emits
+// its Collector/trace bookkeeping, and runs its ramp-in via advanceLocked
+// (which may complete the whole solve inline for narrow problems).
+func (s *Scheduler) activateLocked(j *job, w int) {
+	j.state = stateActive
+	wait := time.Since(j.enq)
+	s.active = append(s.active, j)
+	if a := len(s.active); a > s.stats.PeakActive {
+		s.stats.PeakActive = a
+	}
+	if c := s.cfg.Collector; c != nil {
+		info := j.wl.Info
+		info.ID = j.id
+		info.Workers = s.cfg.Workers
+		c.SolveStart(info)
+		for t := 0; t < j.wl.Fronts; t++ {
+			c.FrontSize(j.wl.Size(t))
+		}
+	}
+	if j.tracer != nil {
+		j.tracer.BeginSolve(trace.Meta{
+			Solver: j.wl.Info.Solver, Problem: j.wl.Info.Problem,
+			Pattern: j.wl.Info.Pattern, Executed: j.wl.Info.Executed,
+			Rows: j.wl.Info.Rows, Cols: j.wl.Info.Cols,
+			Fronts: j.wl.Fronts, Workers: s.cfg.Workers,
+		})
+		j.lanes = make([]*trace.Lane, s.cfg.Workers)
+		for i := range j.lanes {
+			j.lanes[i] = j.tracer.Lane(i)
+		}
+		j.lanes[w].SpanFrom(trace.KindQueue, -1, int64(len(s.queue)), 0, j.enq)
+	}
+	s.schedEventLocked(j, core.SchedStarted, wait)
+	j.front, j.size, j.cursor, j.pending = -1, 0, 0, 0
+	s.advanceLocked(j, w)
+}
+
+// claimLocked hands worker w a chunk from some admitted solve: the one it
+// last claimed from if that still has claimable work (cache affinity),
+// otherwise the next claimable solve round-robin — a cross-solve steal.
+func (s *Scheduler) claimLocked(w int, last *job) (j *job, t, lo, hi int) {
+	n := len(s.active)
+	if n == 0 {
+		return nil, 0, 0, 0
+	}
+	if last != nil && claimable(last) {
+		return s.takeLocked(last, w, false)
+	}
+	for k := 0; k < n; k++ {
+		cand := s.active[(s.rr+k)%n]
+		if claimable(cand) {
+			s.rr = (s.rr + k + 1) % n
+			steal := last != nil && cand != last && last.state == stateActive
+			return s.takeLocked(cand, w, steal)
+		}
+	}
+	return nil, 0, 0, 0
+}
+
+// claimable reports whether a solve has an unclaimed span on a published
+// front. Pure — the cancellation sweep is sweepLocked's job.
+func claimable(j *job) bool {
+	return j.state == stateActive && !j.advancing && !j.canceled && j.cursor < j.size
+}
+
+// takeLocked claims the next chunk of j's current front for worker w.
+func (s *Scheduler) takeLocked(j *job, w int, steal bool) (*job, int, int, int) {
+	lo := j.cursor
+	hi := lo + j.chunk
+	if hi > j.size {
+		hi = j.size
+	}
+	j.cursor = hi
+	j.pending++
+	if steal {
+		s.stats.Steals++
+		s.schedEventLocked(j, core.SchedSteal, 0)
+		if j.lanes != nil {
+			j.lanes[w].Instant(trace.KindSteal, j.front, j.id, 0)
+		}
+	}
+	return j, j.front, lo, hi
+}
+
+// completeLocked retires one finished chunk of j. The worker completing
+// the last outstanding chunk of a fully-claimed front advances the solve.
+func (s *Scheduler) completeLocked(j *job, w int) {
+	j.pending--
+	if j.pending > 0 || j.state != stateActive || j.advancing {
+		return
+	}
+	if j.canceled || isDone(j.ctxDone) {
+		j.canceled = true
+		s.finalizeLocked(j, s.canceledErr(j, j.front))
+		return
+	}
+	if j.cursor >= j.size {
+		if j.lanes != nil {
+			j.lanes[w].SpanFrom(trace.KindFront, j.front, int64(j.size), 0, j.frontT0)
+		}
+		s.advanceLocked(j, w)
+	}
+}
+
+// advanceLocked moves j past its completed front: fronts at or below one
+// chunk run inline on this worker (up to inlineBudget per call, so one
+// narrow solve cannot pin a worker), and the first front that is either
+// wide enough to share or over budget is published for claiming. On
+// return j has either a published front or is finalized; the scheduler
+// mutex is released around each inline front's compute. Callers must not
+// touch j after advanceLocked returns.
+func (s *Scheduler) advanceLocked(j *job, w int) {
+	j.advancing = true
+	j.size, j.cursor = 0, 0
+	t := j.front + 1
+	for budget := inlineBudget; ; budget-- {
+		if j.canceled || isDone(j.ctxDone) {
+			j.canceled = true
+			j.advancing = false
+			s.finalizeLocked(j, s.canceledErr(j, t))
+			return
+		}
+		if t >= j.wl.Fronts {
+			j.advancing = false
+			s.finalizeLocked(j, nil)
+			return
+		}
+		size := j.wl.Size(t)
+		if size > j.chunk || budget <= 0 {
+			j.front, j.size, j.cursor, j.pending = t, size, 0, 0
+			j.frontT0 = time.Now()
+			j.advancing = false
+			s.cond.Broadcast()
+			return
+		}
+		s.mu.Unlock()
+		t0 := time.Now()
+		j.wl.Run(t, 0, size)
+		dur := time.Since(t0)
+		if j.lanes != nil {
+			j.lanes[w].SpanFrom(trace.KindInline, t, 0, int64(size), t0)
+		}
+		s.mu.Lock()
+		s.loads[w].Chunks++
+		s.loads[w].Cells += int64(size)
+		s.loads[w].Busy += dur
+		t++
+	}
+}
+
+// finalizeLocked moves j to its end state: removes it from its set,
+// counts the outcome, emits the Collector/trace closing events, and —
+// strictly last, so waiters observe a quiescent collector and tracer —
+// releases waiters by closing j.done.
+func (s *Scheduler) finalizeLocked(j *job, err error) {
+	wasActive := j.state == stateActive
+	switch j.state {
+	case stateQueued:
+		s.queue = removeJob(s.queue, j)
+	case stateActive:
+		s.active = removeJob(s.active, j)
+	}
+	j.state = stateFinal
+	j.err = err
+	kind := core.SchedDone
+	switch err.(type) {
+	case nil:
+		s.stats.Done++
+	case *Rejected:
+		s.stats.Rejected++
+		kind = core.SchedRejected
+	default:
+		s.stats.Canceled++
+		kind = core.SchedCanceled
+	}
+	if wasActive {
+		if c := s.cfg.Collector; c != nil {
+			c.SolveEnd(err)
+		}
+		if j.tracer != nil {
+			j.tracer.EndSolve()
+		}
+	}
+	s.schedEventLocked(j, kind, time.Since(j.enq))
+	close(j.done)
+	s.cond.Broadcast()
+}
+
+// removeJob removes j from list by swap (order is irrelevant: the queue
+// is picked by score, the active set scanned round-robin).
+func removeJob(list []*job, j *job) []*job {
+	for i, q := range list {
+		if q == j {
+			last := len(list) - 1
+			list[i] = list[last]
+			list[last] = nil
+			return list[:last]
+		}
+	}
+	return list
+}
+
+// schedEventLocked reports one lifecycle event to the configured
+// SchedCollector, if any.
+func (s *Scheduler) schedEventLocked(j *job, kind core.SchedEventKind, wait time.Duration) {
+	if s.schedColl == nil {
+		return
+	}
+	s.schedColl.SchedEvent(core.SchedEvent{
+		ID: j.id, Kind: kind,
+		QueueDepth: len(s.queue), Active: len(s.active),
+		Wait: wait, Cells: j.wl.TotalCells,
+	})
+}
+
+// canceledErr builds the *core.Canceled for a solve interrupted at front.
+func (s *Scheduler) canceledErr(j *job, front int) error {
+	return &core.Canceled{Solver: "sched", Front: front, Err: ctxCause(j.ctx)}
+}
+
+// ctxCause returns the context's cause, defaulting to context.Canceled.
+func ctxCause(ctx context.Context) error {
+	if ctx == nil {
+		return context.Canceled
+	}
+	if err := context.Cause(ctx); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// ctxDoneChan returns the context's done channel; nil contexts (and
+// contexts that can never be canceled) yield nil, which blocks forever in
+// selects and makes every poll free.
+func ctxDoneChan(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// isDone is a non-blocking poll of a done channel; nil is never done.
+func isDone(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}

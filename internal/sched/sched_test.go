@@ -1,0 +1,517 @@
+package sched_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/table"
+	"repro/internal/trace"
+)
+
+// testProblem mirrors the core test recurrence: every contributing
+// neighbour feeds the cell with a position-dependent term, so any
+// mis-scheduled read changes the output.
+func testProblem(m core.DepMask, rows, cols int) *core.Problem[int64] {
+	return &core.Problem[int64]{
+		Name: "sched-" + m.String(),
+		Rows: rows,
+		Cols: cols,
+		Deps: m,
+		F: func(i, j int, nb core.Neighbors[int64]) int64 {
+			v := int64(i*31+j*17) % 13
+			if m.Has(core.DepW) {
+				v += 2*nb.W + 1
+			}
+			if m.Has(core.DepNW) {
+				v += 3 * nb.NW
+			}
+			if m.Has(core.DepN) {
+				v += max(nb.N, v)
+			}
+			if m.Has(core.DepNE) {
+				v += nb.NE ^ 5
+			}
+			return v % 1_000_003
+		},
+		Boundary:     func(i, j int) int64 { return int64(i + 2*j) },
+		BytesPerCell: 8,
+	}
+}
+
+// gateWorkload is a one-front workload whose Run blocks on gate; started
+// is closed when the worker enters it. It pins a worker deterministically.
+func gateWorkload(started, gate chan struct{}) *core.Workload {
+	var once sync.Once
+	return &core.Workload{
+		Info:       core.SolveInfo{Solver: "sched", Problem: "gate", Rows: 1, Cols: 1, Fronts: 1},
+		Fronts:     1,
+		TotalCells: 1,
+		Size:       func(int) int { return 1 },
+		Run: func(int, int, int) {
+			once.Do(func() { close(started) })
+			<-gate
+		},
+	}
+}
+
+// sizedWorkload is a trivial workload whose only interesting property is
+// its TotalCells (for admission-priority tests).
+func sizedWorkload(name string, cells int64) *core.Workload {
+	return &core.Workload{
+		Info:       core.SolveInfo{Solver: "sched", Problem: name, Rows: 1, Cols: 1, Fronts: 1},
+		Fronts:     1,
+		TotalCells: cells,
+		Size:       func(int) int { return 1 },
+		Run:        func(int, int, int) {},
+	}
+}
+
+// eventCollector records SolveStart order and the SchedEvent stream.
+type eventCollector struct {
+	mu     sync.Mutex
+	starts []core.SolveInfo
+	ends   []error
+	events []core.SchedEvent
+}
+
+func (c *eventCollector) SolveStart(info core.SolveInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.starts = append(c.starts, info)
+}
+func (c *eventCollector) Phase(string, time.Duration)     {}
+func (c *eventCollector) FrontSize(int)                   {}
+func (c *eventCollector) WorkerStats(core.WorkerStats)    {}
+func (c *eventCollector) Transfer(core.TransferStats)     {}
+func (c *eventCollector) SolveEnd(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ends = append(c.ends, err)
+}
+func (c *eventCollector) SchedEvent(ev core.SchedEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+func (c *eventCollector) kinds(id int64) []core.SchedEventKind {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ks []core.SchedEventKind
+	for _, ev := range c.events {
+		if ev.ID == id {
+			ks = append(ks, ev.Kind)
+		}
+	}
+	return ks
+}
+
+func newScheduler(t *testing.T, cfg sched.Config) *sched.Scheduler {
+	t.Helper()
+	s, err := sched.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// Every mask through the scheduler must agree exactly with the sequential
+// oracle, with a chunk small enough to force multi-chunk fronts and
+// cross-front claims.
+func TestSchedulerSolveMatchesSequential(t *testing.T) {
+	s := newScheduler(t, sched.Config{Workers: 4, Chunk: 8})
+	dims := [][2]int{{1, 1}, {1, 9}, {9, 1}, {8, 8}, {13, 37}, {37, 13}}
+	for _, m := range core.AllDepMasks() {
+		for _, d := range dims {
+			p := testProblem(m, d[0], d[1])
+			want, err := core.Solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sched.Solve(context.Background(), s, p, sched.SubmitOptions{})
+			if err != nil {
+				t.Fatalf("%s %v: %v", m, d, err)
+			}
+			if !table.EqualComparable(want, got) {
+				t.Errorf("%s %dx%d: scheduler solve differs from sequential", m, d[0], d[1])
+			}
+		}
+	}
+}
+
+// Many concurrent submissions on a small shared pool must all complete
+// correctly — the scheduler's whole reason to exist.
+func TestSchedulerConcurrentSubmissions(t *testing.T) {
+	s := newScheduler(t, sched.Config{Workers: 4, Chunk: 16, MaxActive: 6})
+	masks := core.AllDepMasks()
+	const n = 30
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			m := masks[k%len(masks)]
+			p := testProblem(m, 20+k, 35-k%10)
+			want, err := core.Solve(p)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			got, err := sched.Solve(context.Background(), s, p, sched.SubmitOptions{})
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			if !table.EqualComparable(want, got) {
+				errs[k] = fmt.Errorf("%s: result differs from sequential", m)
+			}
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Errorf("submission %d: %v", k, err)
+		}
+	}
+	st := s.Stats()
+	if st.Submitted != n || st.Done != n {
+		t.Errorf("stats: submitted=%d done=%d, want %d/%d", st.Submitted, st.Done, n, n)
+	}
+	if st.Canceled != 0 || st.Rejected != 0 {
+		t.Errorf("stats: canceled=%d rejected=%d, want 0/0", st.Canceled, st.Rejected)
+	}
+}
+
+func TestSchedulerRejectsAfterClose(t *testing.T) {
+	s, err := sched.New(sched.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, err = sched.Solve(context.Background(), s, testProblem(core.DepN, 3, 3), sched.SubmitOptions{})
+	var rej *sched.Rejected
+	if !errors.As(err, &rej) || !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("submit after close: got %v, want *Rejected wrapping ErrClosed", err)
+	}
+}
+
+func TestSchedulerRejectsExpiredContext(t *testing.T) {
+	s := newScheduler(t, sched.Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sched.Solve(ctx, s, testProblem(core.DepN, 3, 3), sched.SubmitOptions{})
+	var rej *sched.Rejected
+	if !errors.As(err, &rej) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("submit with dead ctx: got %v, want *Rejected wrapping context.Canceled", err)
+	}
+}
+
+func TestSchedulerQueueFull(t *testing.T) {
+	s := newScheduler(t, sched.Config{Workers: 1, QueueBound: 1, MaxActive: 1})
+	started, gate := make(chan struct{}), make(chan struct{})
+	hGate, err := s.Submit(context.Background(), gateWorkload(started, gate), sched.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the only worker is now pinned inside the gate solve
+	hQ, err := s.Submit(context.Background(), sizedWorkload("queued", 1), sched.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("first queued submission: %v", err)
+	}
+	_, err = s.Submit(context.Background(), sizedWorkload("overflow", 1), sched.SubmitOptions{})
+	var rej *sched.Rejected
+	if !errors.As(err, &rej) || !errors.Is(err, sched.ErrQueueFull) {
+		t.Fatalf("overflow submission: got %v, want *Rejected wrapping ErrQueueFull", err)
+	}
+	if rej.QueueDepth != 1 {
+		t.Errorf("rejection queue depth = %d, want 1", rej.QueueDepth)
+	}
+	close(gate)
+	if err := hGate.Wait(); err != nil {
+		t.Errorf("gate solve: %v", err)
+	}
+	if err := hQ.Wait(); err != nil {
+		t.Errorf("queued solve: %v", err)
+	}
+}
+
+// A submission whose context expires while still queued is rejected (it
+// never ran); one canceled mid-run returns *core.Canceled. The two types
+// partition the non-success outcomes.
+func TestSchedulerCancelWhileQueued(t *testing.T) {
+	s := newScheduler(t, sched.Config{Workers: 1, MaxActive: 1})
+	started, gate := make(chan struct{}), make(chan struct{})
+	hGate, err := s.Submit(context.Background(), gateWorkload(started, gate), sched.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cause := errors.New("deadline for the test")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	hQ, err := s.Submit(ctx, sizedWorkload("queued", 1), sched.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel(cause)
+	err = hQ.Wait() // must return without the gate ever opening
+	var rej *sched.Rejected
+	if !errors.As(err, &rej) || !errors.Is(err, cause) {
+		t.Fatalf("queued cancel: got %v, want *Rejected wrapping the cause", err)
+	}
+	close(gate)
+	if err := hGate.Wait(); err != nil {
+		t.Errorf("gate solve: %v", err)
+	}
+}
+
+func TestSchedulerCancelWhileRunning(t *testing.T) {
+	s := newScheduler(t, sched.Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	wl := &core.Workload{
+		Info:       core.SolveInfo{Solver: "sched", Problem: "cancel-mid-run", Rows: 1, Cols: 10, Fronts: 10},
+		Fronts:     10,
+		TotalCells: 10,
+		Size:       func(int) int { return 1 },
+		Run: func(t, _, _ int) {
+			once.Do(func() { close(started) })
+			if t > 0 {
+				<-ctx.Done() // later fronts stall until the cancel lands
+			}
+		},
+	}
+	h, err := s.Submit(ctx, wl, sched.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cancel()
+	err = h.Wait()
+	var canceled *core.Canceled
+	if !errors.As(err, &canceled) {
+		t.Fatalf("mid-run cancel: got %v, want *core.Canceled", err)
+	}
+	if canceled.Solver != "sched" {
+		t.Errorf("canceled.Solver = %q, want \"sched\"", canceled.Solver)
+	}
+}
+
+// With the only worker pinned, a small solve queued after a large one must
+// be admitted first (bounded jump), and the collector must see the full
+// lifecycle with matching solve IDs.
+func TestSchedulerSmallSolvePriorityAndCollector(t *testing.T) {
+	coll := &eventCollector{}
+	s := newScheduler(t, sched.Config{
+		Workers: 1, MaxActive: 1, SmallCells: 100, SmallBoost: 8, Collector: coll,
+	})
+	started, gate := make(chan struct{}), make(chan struct{})
+	hGate, err := s.Submit(context.Background(), gateWorkload(started, gate), sched.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	hBig, err := s.Submit(context.Background(), sizedWorkload("big", 1_000_000), sched.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSmall, err := s.Submit(context.Background(), sizedWorkload("small", 10), sched.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	for _, h := range []*sched.Handle{hGate, hBig, hSmall} {
+		if err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu := coll.kinds(hSmall.ID())
+	coll.mu.Lock()
+	defer coll.mu.Unlock()
+	if len(coll.starts) != 3 || len(coll.ends) != 3 {
+		t.Fatalf("collector saw %d starts / %d ends, want 3/3", len(coll.starts), len(coll.ends))
+	}
+	// Admission order: gate first, then the small solve jumps the big one.
+	if got := []string{coll.starts[0].Problem, coll.starts[1].Problem, coll.starts[2].Problem}; got[1] != "small" || got[2] != "big" {
+		t.Errorf("admission order %v, want gate, small, big", got)
+	}
+	for i, info := range coll.starts {
+		if info.ID == 0 {
+			t.Errorf("start %d: SolveInfo.ID is 0, want scheduler-assigned ID", i)
+		}
+	}
+	if hSmall.ID() == hBig.ID() || hSmall.ID() == 0 {
+		t.Errorf("handle IDs not distinct: small=%d big=%d", hSmall.ID(), hBig.ID())
+	}
+	// Per-submission lifecycle in the SchedEvent stream.
+	want := []core.SchedEventKind{core.SchedEnqueued, core.SchedStarted, core.SchedDone}
+	if len(mu) != len(want) {
+		t.Fatalf("small solve events %v, want %v", mu, want)
+	}
+	for i := range want {
+		if mu[i] != want[i] {
+			t.Fatalf("small solve events %v, want %v", mu, want)
+		}
+	}
+}
+
+// A large submission is passed by at most SmallBoost later small ones:
+// the boost is a bounded jump, not a separate priority class.
+func TestSchedulerSmallBoostIsBounded(t *testing.T) {
+	coll := &eventCollector{}
+	s := newScheduler(t, sched.Config{
+		Workers: 1, MaxActive: 1, SmallCells: 100, SmallBoost: 2, Collector: coll,
+	})
+	started, gate := make(chan struct{}), make(chan struct{})
+	hGate, err := s.Submit(context.Background(), gateWorkload(started, gate), sched.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var handles []*sched.Handle
+	hBig, err := s.Submit(context.Background(), sizedWorkload("big", 1_000_000), sched.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles = append(handles, hBig)
+	for k := 0; k < 4; k++ {
+		h, err := s.Submit(context.Background(), sizedWorkload(fmt.Sprintf("small%d", k), 10), sched.SubmitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	close(gate)
+	if err := hGate.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coll.mu.Lock()
+	defer coll.mu.Unlock()
+	pos := -1
+	for i, info := range coll.starts {
+		if info.Problem == "big" {
+			pos = i
+		}
+	}
+	// starts[0] is the gate; with boost 2, only small0 (arrival distance
+	// 1, strictly inside the boost) jumps the big solve — small1 ties on
+	// score and the tie goes to the earlier arrival.
+	if pos != 2 {
+		order := make([]string, len(coll.starts))
+		for i, info := range coll.starts {
+			order[i] = info.Problem
+		}
+		t.Errorf("big solve admitted at position %d (order %v), want 2", pos, order)
+	}
+}
+
+// The per-submission tracer must carry the queue span and chunk/inline
+// events of its own solve only.
+func TestSchedulerTracer(t *testing.T) {
+	s := newScheduler(t, sched.Config{Workers: 2, Chunk: 8})
+	rec := trace.NewRecorder(0)
+	p := testProblem(core.DepW|core.DepN, 40, 40)
+	got, err := sched.Solve(context.Background(), s, p, sched.SubmitOptions{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualComparable(want, got) {
+		t.Fatal("traced solve differs from sequential")
+	}
+	events := rec.Events()
+	counts := map[trace.Kind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	if counts[trace.KindQueue] != 1 {
+		t.Errorf("queue spans = %d, want 1", counts[trace.KindQueue])
+	}
+	if counts[trace.KindChunk]+counts[trace.KindInline] == 0 {
+		t.Error("no chunk or inline events recorded")
+	}
+	if rec.Meta().Solver != "sched" {
+		t.Errorf("trace meta solver = %q, want \"sched\"", rec.Meta().Solver)
+	}
+}
+
+func TestSchedulerStatsAndWorkerLoads(t *testing.T) {
+	s := newScheduler(t, sched.Config{Workers: 2, Chunk: 8})
+	p := testProblem(core.DepW|core.DepN, 64, 64)
+	for k := 0; k < 3; k++ {
+		if _, err := sched.Solve(context.Background(), s, p, sched.SubmitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Submitted != 3 || st.Done != 3 {
+		t.Errorf("submitted=%d done=%d, want 3/3", st.Submitted, st.Done)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("worker loads = %d entries, want 2", len(st.Workers))
+	}
+	var cells int64
+	for _, wl := range st.Workers {
+		cells += wl.Cells
+	}
+	if want := int64(3 * 64 * 64); cells != want {
+		t.Errorf("total cells across workers = %d, want %d", cells, want)
+	}
+	if st.QueueDepth != 0 || st.Active != 0 {
+		t.Errorf("idle scheduler reports queue=%d active=%d", st.QueueDepth, st.Active)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []sched.Config{
+		{Workers: sched.MaxWorkers + 1},
+		{QueueBound: sched.MaxQueueBound + 1},
+		{MaxActive: sched.MaxActiveBound + 1},
+		{Chunk: sched.MaxChunk + 1},
+		{SmallBoost: sched.MaxSmallBoost + 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d: Validate accepted an out-of-range value", i)
+		}
+		if _, err := sched.New(cfg); err == nil {
+			t.Errorf("config %d: New accepted an out-of-range value", i)
+		}
+	}
+	// Zero and negative values select defaults.
+	for _, cfg := range []sched.Config{{}, {Workers: -1, QueueBound: -1, MaxActive: -1, Chunk: -1, SmallCells: -1, SmallBoost: -1}} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("default-selecting config rejected: %v", err)
+		}
+	}
+}
+
+func TestSubmitRejectsInvalidWorkload(t *testing.T) {
+	s := newScheduler(t, sched.Config{Workers: 1})
+	if _, err := s.Submit(context.Background(), nil, sched.SubmitOptions{}); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := s.Submit(context.Background(), &core.Workload{Fronts: 1}, sched.SubmitOptions{}); err == nil {
+		t.Error("workload without Size/Run accepted")
+	}
+	wl := sizedWorkload("chunk", 1)
+	if _, err := s.Submit(context.Background(), wl, sched.SubmitOptions{Chunk: sched.MaxChunk + 1}); err == nil {
+		t.Error("oversized submission chunk accepted")
+	}
+}

@@ -1,0 +1,18 @@
+//go:build soak
+
+package sched_test
+
+import "testing"
+
+// TestSchedulerSoakLong is the extended soak, opt-in via -tags soak:
+// hundreds of randomized concurrent submissions against one shared
+// scheduler, intended to run under -race in CI's scheduled job or locally
+// before a release. Same invariants as the short soak, more exposure.
+func TestSchedulerSoakLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak skipped in -short mode")
+	}
+	for seed := int64(2); seed < 6; seed++ {
+		runSoak(t, 250, 96, seed)
+	}
+}

@@ -42,6 +42,14 @@ const (
 	// A carries cells, B bytes, Label the transfer label.
 	KindXferH2D
 	KindXferD2H
+	// KindQueue spans the time a scheduler submission spent in the
+	// admission queue, from Submit to the moment a worker activated it;
+	// A carries the queue depth observed at admission.
+	KindQueue
+	// KindSteal marks a scheduler worker switching to this solve from a
+	// different one (a cross-solve steal); emitted as an instant on the
+	// stealing worker's lane. A carries the solve ID.
+	KindSteal
 )
 
 var kindNames = [...]string{
@@ -55,6 +63,8 @@ var kindNames = [...]string{
 	KindPhase:   "phase",
 	KindXferH2D: "h2d",
 	KindXferD2H: "d2h",
+	KindQueue:   "queue",
+	KindSteal:   "steal",
 }
 
 // String returns the stable lowercase name of the kind, used as the

@@ -176,6 +176,13 @@ type Accelerator = core.Accelerator
 // Classify returns the Table-I pattern of a contributing set.
 func Classify(m DepMask) Pattern { return core.Classify(m) }
 
+// ParseDepMask parses a contributing set like "{W,NW}" or "w,nw"
+// (case-insensitive), the inverse of DepMask.String.
+func ParseDepMask(s string) (DepMask, error) { return core.ParseDepMask(s) }
+
+// AllDepMasks enumerates the 15 valid contributing sets.
+func AllDepMasks() []DepMask { return core.AllDepMasks() }
+
 // TransferNeed returns the Table-II transfer requirement of a contributing
 // set.
 func TransferNeed(m DepMask) TransferKind { return core.TransferNeed(m) }

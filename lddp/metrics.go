@@ -54,6 +54,33 @@ type MetricsSnapshot struct {
 
 	// Transfers aggregates simulated device traffic.
 	Transfers TransferSummary `json:"transfers"`
+
+	// Sched aggregates shared-scheduler lifecycle events when the Metrics
+	// is attached via WithSchedulerCollector; zero otherwise.
+	Sched SchedSnapshot `json:"sched,omitzero"`
+}
+
+// SchedSnapshot aggregates the SchedEvent stream of a shared scheduler.
+type SchedSnapshot struct {
+	// Submitted counts admissions into the queue; Started, Done, Canceled
+	// and Rejected the lifecycle outcomes (Rejected includes synchronous
+	// refusals and queue expiries).
+	Submitted int64 `json:"submitted"`
+	Started   int64 `json:"started"`
+	Done      int64 `json:"done"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+	// Steals counts cross-solve steals (a worker switching solves).
+	Steals int64 `json:"steals"`
+	// PeakQueueDepth and PeakActive are high-water marks observed on the
+	// event stream.
+	PeakQueueDepth int `json:"peak_queue_depth"`
+	PeakActive     int `json:"peak_active"`
+	// QueueWaitNS sums the time-in-queue of started submissions;
+	// MaxQueueWaitNS is the largest single wait. QueueWaitNS/Started is
+	// the mean admission latency.
+	QueueWaitNS    int64 `json:"queue_wait_ns"`
+	MaxQueueWaitNS int64 `json:"max_queue_wait_ns"`
 }
 
 // PhaseStat accumulates the wall time of one named execution phase.
@@ -95,7 +122,10 @@ type TransferCounter struct {
 	Cells int64 `json:"cells"`
 }
 
-var _ Collector = (*Metrics)(nil)
+var (
+	_ Collector      = (*Metrics)(nil)
+	_ SchedCollector = (*Metrics)(nil)
+)
 
 // SolveStart implements Collector.
 func (m *Metrics) SolveStart(info SolveInfo) {
@@ -194,6 +224,40 @@ func (m *Metrics) SolveEnd(err error) {
 	if err != nil {
 		m.snap.Errors++
 		m.snap.LastError = err.Error()
+	}
+}
+
+// SchedEvent implements SchedCollector: attached scheduler-wide via
+// WithSchedulerCollector, the Metrics aggregates the scheduler's
+// lifecycle stream into the Sched section of the snapshot.
+func (m *Metrics) SchedEvent(ev SchedEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &m.snap.Sched
+	switch ev.Kind {
+	case SchedEnqueued:
+		s.Submitted++
+	case SchedStarted:
+		s.Started++
+		w := ev.Wait.Nanoseconds()
+		s.QueueWaitNS += w
+		if w > s.MaxQueueWaitNS {
+			s.MaxQueueWaitNS = w
+		}
+	case SchedDone:
+		s.Done++
+	case SchedCanceled:
+		s.Canceled++
+	case SchedRejected:
+		s.Rejected++
+	case SchedSteal:
+		s.Steals++
+	}
+	if ev.QueueDepth > s.PeakQueueDepth {
+		s.PeakQueueDepth = ev.QueueDepth
+	}
+	if ev.Active > s.PeakActive {
+		s.PeakActive = ev.Active
 	}
 }
 

@@ -1,0 +1,104 @@
+package lddp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/lddp"
+)
+
+func schedProblem(rows, cols int) *lddp.Problem[int64] {
+	return &lddp.Problem[int64]{
+		Name: "facade-sched", Rows: rows, Cols: cols,
+		Deps: lddp.DepW | lddp.DepN,
+		F: func(i, j int, nb lddp.Neighbors[int64]) int64 {
+			return (nb.W*3 + nb.N + int64(i*7+j)) % 1_000_003
+		},
+		Boundary:     func(i, j int) int64 { return int64(i - j) },
+		BytesPerCell: 8,
+	}
+}
+
+func TestSchedulerFacadeMatchesSolve(t *testing.T) {
+	metrics := &lddp.Metrics{}
+	s, err := lddp.NewScheduler(
+		lddp.WithSchedulerWorkers(2),
+		lddp.WithSchedulerChunk(16),
+		lddp.WithSchedulerCollector(metrics),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := schedProblem(50, 60)
+	want, err := lddp.Solve(context.Background(), p, lddp.WithStrategy(lddp.Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lddp.SolveOn(context.Background(), s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Rows; i++ {
+		for j := 0; j < p.Cols; j++ {
+			if want.Grid.At(i, j) != got.At(i, j) {
+				t.Fatalf("cell (%d,%d): scheduler %d != sequential %d", i, j, got.At(i, j), want.Grid.At(i, j))
+			}
+		}
+	}
+	snap := metrics.Snapshot()
+	if snap.Sched.Submitted != 1 || snap.Sched.Started != 1 || snap.Sched.Done != 1 {
+		t.Errorf("sched metrics = %+v, want submitted/started/done = 1", snap.Sched)
+	}
+	if snap.Solver != "sched" {
+		t.Errorf("metrics solver = %q, want \"sched\"", snap.Solver)
+	}
+}
+
+func TestSubmitRejectsUnsupportedOptions(t *testing.T) {
+	s, err := lddp.NewScheduler(lddp.WithSchedulerWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := schedProblem(4, 4)
+	if _, err := lddp.Submit(context.Background(), s, p, lddp.WithStrategy(lddp.Tiled)); err == nil {
+		t.Error("Tiled strategy accepted by Submit")
+	}
+	if _, err := lddp.Submit(context.Background(), s, p, lddp.WithCollector(&lddp.Metrics{})); err == nil {
+		t.Error("per-submission collector accepted by Submit")
+	}
+}
+
+func TestSchedulerFacadeRejectionTypes(t *testing.T) {
+	s, err := lddp.NewScheduler(lddp.WithSchedulerWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, err = lddp.SolveOn(context.Background(), s, schedProblem(4, 4))
+	var rej *lddp.Rejected
+	if !errors.As(err, &rej) || !errors.Is(err, lddp.ErrSchedulerClosed) {
+		t.Fatalf("submit after close: got %v, want *Rejected wrapping ErrSchedulerClosed", err)
+	}
+}
+
+func TestSchedulerFacadeTracer(t *testing.T) {
+	s, err := lddp.NewScheduler(lddp.WithSchedulerWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tr := lddp.NewTracer()
+	if _, err := lddp.SolveOn(context.Background(), s, schedProblem(40, 40),
+		lddp.WithChunk(8), lddp.WithTracer(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta().Solver != "sched" {
+		t.Errorf("trace solver = %q, want \"sched\"", tr.Meta().Solver)
+	}
+	if len(tr.Events()) == 0 {
+		t.Error("tracer recorded no events")
+	}
+}
