@@ -68,6 +68,7 @@ var conformanceShapes = [][2]int{
 	{1, 1},
 	{1, 33},
 	{33, 1},
+	{101, 1}, // knight fronts past the scheduler publish boundary are empty at odd t
 	{3, 101}, // rows << cols
 	{101, 3}, // cols << rows
 	{31, 37}, // primes

@@ -394,7 +394,16 @@ func (s *Scheduler) activateLocked(j *job, w int) {
 	if a := len(s.active); a > s.stats.PeakActive {
 		s.stats.PeakActive = a
 	}
+	j.front, j.size, j.cursor, j.pending = -1, 0, 0, 0
 	if c := s.cfg.Collector; c != nil {
+		// Emit SolveStart and the O(Fronts) FrontSize loop outside the
+		// mutex: the Collector is user code and must not stall every
+		// worker and Submit behind one admission. j.advancing keeps the
+		// solve off the finalize paths (sweep, cancel) while unlocked,
+		// and with size == 0 it is not claimable, so only this worker
+		// touches j until advanceLocked below.
+		j.advancing = true
+		s.mu.Unlock()
 		info := j.wl.Info
 		info.ID = j.id
 		info.Workers = s.cfg.Workers
@@ -402,6 +411,7 @@ func (s *Scheduler) activateLocked(j *job, w int) {
 		for t := 0; t < j.wl.Fronts; t++ {
 			c.FrontSize(j.wl.Size(t))
 		}
+		s.mu.Lock()
 	}
 	if j.tracer != nil {
 		j.tracer.BeginSolve(trace.Meta{
@@ -417,7 +427,6 @@ func (s *Scheduler) activateLocked(j *job, w int) {
 		j.lanes[w].SpanFrom(trace.KindQueue, -1, int64(len(s.queue)), 0, j.enq)
 	}
 	s.schedEventLocked(j, core.SchedStarted, wait)
-	j.front, j.size, j.cursor, j.pending = -1, 0, 0, 0
 	s.advanceLocked(j, w)
 }
 
@@ -499,7 +508,7 @@ func (s *Scheduler) advanceLocked(j *job, w int) {
 	j.advancing = true
 	j.size, j.cursor = 0, 0
 	t := j.front + 1
-	for budget := inlineBudget; ; budget-- {
+	for budget := inlineBudget; ; {
 		if j.canceled || isDone(j.ctxDone) {
 			j.canceled = true
 			j.advancing = false
@@ -512,6 +521,14 @@ func (s *Scheduler) advanceLocked(j *job, w int) {
 			return
 		}
 		size := j.wl.Size(t)
+		if size == 0 {
+			// An empty front (e.g. knight-move fronts on a 1-column table
+			// at odd t) has nothing to run or publish. Publishing it would
+			// wedge the solve — no chunk is ever claimable, so no worker
+			// would advance past it. Skip it; it costs no inline budget.
+			t++
+			continue
+		}
 		if size > j.chunk || budget <= 0 {
 			j.front, j.size, j.cursor, j.pending = t, size, 0, 0
 			j.frontT0 = time.Now()
@@ -530,6 +547,7 @@ func (s *Scheduler) advanceLocked(j *job, w int) {
 		s.loads[w].Chunks++
 		s.loads[w].Cells += int64(size)
 		s.loads[w].Busy += dur
+		budget--
 		t++
 	}
 }

@@ -146,6 +146,31 @@ func TestSchedulerSolveMatchesSequential(t *testing.T) {
 	}
 }
 
+// A single-column knight-pattern table has zero-size fronts at odd t, so
+// once the inline budget runs out the advance loop lands on empty fronts.
+// Publishing one would wedge the solve forever (an empty front is never
+// claimable and has no pending chunks); the scheduler must skip them.
+// Regression test: 34x1 used to hang at the t=65 publish point.
+func TestSchedulerEmptyKnightFronts(t *testing.T) {
+	s := newScheduler(t, sched.Config{Workers: 2, Chunk: 8})
+	for _, rows := range []int{34, 101} {
+		p := testProblem(core.DepW|core.DepNE, rows, 1)
+		want, err := core.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		got, err := sched.Solve(ctx, s, p, sched.SubmitOptions{})
+		cancel()
+		if err != nil {
+			t.Fatalf("%dx1 knight solve: %v", rows, err)
+		}
+		if !table.EqualComparable(want, got) {
+			t.Errorf("%dx1 knight solve differs from sequential", rows)
+		}
+	}
+}
+
 // Many concurrent submissions on a small shared pool must all complete
 // correctly — the scheduler's whole reason to exist.
 func TestSchedulerConcurrentSubmissions(t *testing.T) {
