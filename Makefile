@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench bench-all experiments figures quick cover trace sched-smoke soak conformance clean
+.PHONY: all build test vet check race bench bench-server bench-all experiments figures quick cover trace sched-smoke serve-smoke soak soak-server conformance e2e clean
 
 all: build vet test
 
@@ -64,10 +64,41 @@ sched-smoke:
 	$(GO) run ./cmd/lddpserve -mode compare -solves 16 -size 512
 	$(GO) run ./cmd/lddpserve -mix -solves 32 -size 400 -timeout 50ms
 
+# Network service smoke: boot lddpd on an ephemeral local port, fire a
+# remote batch through cmd/lddpserve -url (the client's retry/backoff
+# absorbs the startup window), fetch /metrics into serve_metrics.json,
+# then shut the server down via SIGTERM and let it drain.
+serve-smoke:
+	$(GO) build -o lddpd.bin ./cmd/lddpd
+	./lddpd.bin -addr 127.0.0.1:18080 -workers 4 & \
+	  pid=$$!; \
+	  $(GO) run ./cmd/lddpserve -url http://127.0.0.1:18080 -solves 16 -size 256 -metrics serve_metrics.json; \
+	  rc=$$?; \
+	  kill -TERM $$pid; wait $$pid; \
+	  rm -f lddpd.bin; \
+	  exit $$rc
+
+# Server-mode throughput: the full network stack (JSON + HTTP + handler +
+# scheduler) vs direct facade submission, archived as BENCH_server.json.
+bench-server:
+	$(GO) test -run '^$$' -bench=ServerSolve -benchmem -cpu 4 -benchtime 3x ./internal/server/ | tee bench_server_output.txt
+	$(GO) run ./cmd/benchjson -desc "Server-mode reference run: wire vs direct batch throughput. Regenerate with \`make bench-server\`." < bench_server_output.txt > BENCH_server.json
+
+# Wire-boundary differential suite: all 15 masks x adversarial shapes
+# through lddpd's handler stack and the public client, exact equality
+# against the sequential oracle, under the race detector.
+e2e:
+	$(GO) test -race -run 'E2EDifferential|DrainSoak|FuzzSolveRequest' -timeout 10m ./internal/server/
+
 # Extended randomized scheduler soak under the race detector (the short
 # soak runs in the normal test pass; this is the long opt-in variant).
 soak:
 	$(GO) test -race -tags soak -run SchedulerSoakLong -timeout 20m ./internal/sched/
+
+# Extended server drain soak: randomized remote batches with client-side
+# cancels and mid-batch drains, leak-checked, under the race detector.
+soak-server:
+	$(GO) test -race -tags soak -run ServerDrainSoakLong -timeout 20m ./internal/server/
 
 # Cross-executor differential conformance suite: all 15 masks x every
 # public executor path x adversarial shapes, under the race detector.
@@ -75,4 +106,4 @@ conformance:
 	$(GO) test -race -run 'Conformance|Metamorphic' -timeout 10m ./internal/core/ ./internal/sched/
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt trace.json
+	rm -f cover.out test_output.txt bench_output.txt bench_server_output.txt trace.json serve_metrics.json lddpd.bin

@@ -1,12 +1,15 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
-// into the JSON record committed as BENCH_native.json. It keeps only the
+// into the JSON records committed as BENCH_*.json. It keeps only the
 // benchmark result lines plus the goos/goarch/cpu header, so a reference
-// run can be diffed and archived without the test-runner chatter.
+// run can be diffed and archived without the test-runner chatter. -desc
+// overrides the description line (e.g. to name the make target that
+// regenerates the file).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
@@ -37,8 +40,11 @@ type report struct {
 }
 
 func main() {
+	desc := flag.String("desc", "Reference benchmark run; real wall-clock numbers from one machine. Regenerate with `make bench`.",
+		"description line embedded in the report")
+	flag.Parse()
 	rep := report{
-		Description: "Reference benchmark run; real wall-clock numbers from one machine. Regenerate with `make bench`.",
+		Description: *desc,
 		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Commit:      gitCommit(),

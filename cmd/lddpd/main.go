@@ -1,0 +1,127 @@
+// Command lddpd is the network solve service: an HTTP/JSON server
+// exposing the shared multi-solve scheduler (lddp.Scheduler) behind
+// POST /v1/solve, with health/readiness/metrics endpoints and graceful
+// drain on SIGTERM. The wire protocol is documented in DESIGN.md §10;
+// repro/lddp/client is the Go client and cmd/lddpserve -url the load
+// driver.
+//
+// Usage:
+//
+//	lddpd                                  # serve on :8080, default limits
+//	lddpd -addr 127.0.0.1:9000 -workers 8  # pin address and pool size
+//	lddpd -tracedir traces                 # record a per-solve trace file
+//
+// Shutdown: on SIGTERM/SIGINT the server stops advertising readiness
+// (GET /readyz -> 503) and refuses new solves, lets admitted solves
+// finish for up to -drain, then closes the listener and the scheduler.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+type options struct {
+	addr     string
+	workers  int
+	queue    int
+	active   int
+	chunk    int
+	inflight int
+	maxCells int64
+	drain    time.Duration
+	tracedir string
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&opts.workers, "workers", 0, "scheduler workers (0 = min(GOMAXPROCS, NumCPU))")
+	flag.IntVar(&opts.queue, "queue", 0, "admission queue bound (0 = default)")
+	flag.IntVar(&opts.active, "active", 0, "max concurrently active solves (0 = default)")
+	flag.IntVar(&opts.chunk, "chunk", 0, "cells per claim chunk (0 = default)")
+	flag.IntVar(&opts.inflight, "inflight", 0, "max in-flight solve requests (0 = 4x workers)")
+	flag.Int64Var(&opts.maxCells, "max-cells", 0, "per-request table cell cap (0 = default)")
+	flag.DurationVar(&opts.drain, "drain", 10*time.Second, "graceful drain bound on shutdown")
+	flag.StringVar(&opts.tracedir, "tracedir", "", "write a per-solve trace file into this directory")
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts, os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "lddpd:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the service and blocks until ctx ends (the shutdown signal),
+// then drains in the documented order: readiness flips first, the
+// listener closes after in-flight requests finish (bounded by -drain),
+// and the scheduler closes last. addrCh, when non-nil, receives the
+// bound listener address once serving — the test hook for -addr :0.
+func run(ctx context.Context, opts options, out io.Writer, addrCh chan<- string) error {
+	if opts.tracedir != "" {
+		if err := os.MkdirAll(opts.tracedir, 0o755); err != nil {
+			return err
+		}
+	}
+	srv, err := server.New(server.Config{
+		Workers:     opts.workers,
+		Queue:       opts.queue,
+		MaxActive:   opts.active,
+		Chunk:       opts.chunk,
+		MaxInflight: opts.inflight,
+		MaxCells:    opts.maxCells,
+		TraceDir:    opts.tracedir,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(out, "lddpd: serving on %s (workers %d, inflight %d)\n",
+		ln.Addr(), srv.Config().Workers, srv.Config().MaxInflight)
+	if addrCh != nil {
+		addrCh <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "lddpd: draining (bound %s)\n", opts.drain)
+	// Readiness flips before the listener closes, so a load balancer
+	// polling /readyz sees the drain while the port still answers.
+	srv.BeginDrain()
+	shCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
+	defer cancel()
+	shutdownErr := hs.Shutdown(shCtx)
+	srv.Close()
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return fmt.Errorf("drain bound expired: %w", shutdownErr)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "lddpd: drained")
+	return nil
+}

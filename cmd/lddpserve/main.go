@@ -2,7 +2,10 @@
 // of concurrent solve submissions at one lddp.Scheduler and reports
 // aggregate throughput, outcome counts, and scheduler statistics. It is
 // both the CI smoke test for the scheduler under real concurrency and the
-// tool behind the multi-solve throughput numbers in EXPERIMENTS.md.
+// tool behind the multi-solve throughput numbers in EXPERIMENTS.md. With
+// -url it drives a remote lddpd server through the repro/lddp/client
+// package instead of an in-process scheduler, running the identical
+// kernel (the requests carry the "serve" workload kind).
 //
 // Usage:
 //
@@ -10,6 +13,7 @@
 //	lddpserve -mode compare -solves 16 -size 512     # scheduler vs back-to-back Solve
 //	lddpserve -mix -solves 32 -timeout 50ms          # mixed sizes and masks, deadlines
 //	lddpserve -metrics out.json                      # dump the metrics snapshot
+//	lddpserve -url http://127.0.0.1:8080 -solves 16  # same batch against a lddpd server
 //
 // Exit status is 0 when every submission ends in an expected state (done,
 // or canceled/rejected under -timeout), 1 otherwise.
@@ -27,7 +31,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/server"
 	"repro/lddp"
+	"repro/lddp/client"
 )
 
 type options struct {
@@ -43,6 +49,8 @@ type options struct {
 	timeout time.Duration
 	mode    string
 	metrics string
+	url     string
+	retries int
 }
 
 func main() {
@@ -59,6 +67,8 @@ func main() {
 	flag.DurationVar(&opts.timeout, "timeout", 0, "per-submission deadline (0 = none)")
 	flag.StringVar(&opts.mode, "mode", "sched", "sched | seq | compare")
 	flag.StringVar(&opts.metrics, "metrics", "", "write the metrics JSON snapshot to this file")
+	flag.StringVar(&opts.url, "url", "", "drive a remote lddpd server at this base URL instead of an in-process scheduler")
+	flag.IntVar(&opts.retries, "retries", 8, "client retry attempts per solve in -url mode (covers server startup)")
 	flag.Parse()
 	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lddpserve:", err)
@@ -68,8 +78,10 @@ func main() {
 
 // workItem is one submission of the batch.
 type workItem struct {
-	problem *lddp.Problem[int64]
-	cells   int64
+	problem    *lddp.Problem[int64]
+	mask       lddp.DepMask
+	rows, cols int
+	cells      int64
 }
 
 // buildBatch materializes the submission list. With -mix, masks and sizes
@@ -89,38 +101,21 @@ func buildBatch(opts options) ([]workItem, error) {
 			m = masks[rng.Intn(len(masks))]
 			size = 1 + rng.Intn(opts.size)
 		}
-		items[k] = workItem{problem: loadProblem(m, size, size), cells: int64(size) * int64(size)}
+		items[k] = workItem{
+			problem: loadProblem(m, size, size),
+			mask:    m, rows: size, cols: size,
+			cells: int64(size) * int64(size),
+		}
 	}
 	return items, nil
 }
 
-// loadProblem builds the driver's benchmark recurrence: every contributing
-// neighbour feeds the cell through cheap integer mixing — add/xor only, the
-// cost class of real DP kernels (min/max + add), the same work per cell
-// regardless of mask. int64 overflow wraps, which is fine for a load test.
+// loadProblem builds the driver's benchmark recurrence — the "serve"
+// workload kind of the network service, so local and -url runs execute
+// the identical kernel (cheap integer mixing of every contributing
+// neighbour; int64 overflow wraps, fine for a load test).
 func loadProblem(m lddp.DepMask, rows, cols int) *lddp.Problem[int64] {
-	return &lddp.Problem[int64]{
-		Name: fmt.Sprintf("serve-%s-%dx%d", m, rows, cols),
-		Rows: rows, Cols: cols, Deps: m,
-		F: func(i, j int, nb lddp.Neighbors[int64]) int64 {
-			v := int64(i*31 + j*17)
-			if m.Has(lddp.DepW) {
-				v += 2*nb.W + 1
-			}
-			if m.Has(lddp.DepNW) {
-				v += 3 * nb.NW
-			}
-			if m.Has(lddp.DepN) {
-				v += nb.N ^ 9
-			}
-			if m.Has(lddp.DepNE) {
-				v += nb.NE - 7
-			}
-			return v
-		},
-		Boundary:     func(i, j int) int64 { return int64(i + 2*j) },
-		BytesPerCell: 8,
-	}
+	return server.ServeProblem(m, rows, cols)
 }
 
 // outcome tallies one batch run.
@@ -146,9 +141,15 @@ func run(opts options, out io.Writer) error {
 	if opts.solves <= 0 || opts.size <= 0 {
 		return fmt.Errorf("-solves and -size must be positive")
 	}
+	if opts.url != "" && opts.mode != "sched" {
+		return fmt.Errorf("-url drives a remote scheduler; -mode %s is local-only", opts.mode)
+	}
 	items, err := buildBatch(opts)
 	if err != nil {
 		return err
+	}
+	if opts.url != "" {
+		return runRemote(opts, items, out)
 	}
 
 	var schedRes, seqRes outcome
@@ -244,6 +245,83 @@ func runScheduled(opts options, s *lddp.Scheduler, items []workItem) outcome {
 	wg.Wait()
 	res.elapsed = time.Since(start)
 	return res
+}
+
+// runRemote fires the batch at a remote lddpd server through the client
+// package: the same concurrency structure as runScheduled, with the
+// scheduler behind HTTP. The client's retry/backoff also absorbs the
+// server's startup window (connection refused retries like a 503), which
+// is what lets `make serve-smoke` start lddpd and the driver together.
+func runRemote(opts options, items []workItem, out io.Writer) error {
+	c, err := client.New(opts.url, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: opts.retries,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+	}))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var (
+		res outcome
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+	)
+	start := time.Now()
+	for _, it := range items {
+		wg.Add(1)
+		go func(it workItem) {
+			defer wg.Done()
+			req := &client.SolveRequest{
+				Rows: it.rows, Cols: it.cols,
+				Mask:       it.mask.String(),
+				Workload:   client.WorkloadSpec{Kind: client.KindServe},
+				Chunk:      opts.chunk,
+				DeadlineMS: opts.timeout.Milliseconds(),
+			}
+			_, err := c.Solve(context.Background(), req)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				res.done++
+				res.cells += it.cells
+			case errors.Is(err, client.ErrTimeout):
+				res.canceled++
+			case errors.Is(err, client.ErrOverloaded), errors.Is(err, client.ErrUnavailable):
+				res.rejected++
+			default:
+				res.failed++
+				fmt.Fprintf(os.Stderr, "lddpserve: %s: unexpected error: %v\n", it.problem.Name, err)
+			}
+		}(it)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	fmt.Fprintf(out, "remote: %d solves, %d done, %d canceled, %d rejected, %.3gs, %.3g cells/s\n",
+		opts.solves, res.done, res.canceled, res.rejected, res.elapsed.Seconds(), res.throughput())
+	if opts.metrics != "" {
+		snap, err := c.Metrics(context.Background())
+		if err != nil {
+			return fmt.Errorf("fetching /metrics: %w", err)
+		}
+		doc, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.metrics, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (server sched: %d done, %d steals, peak active %d)\n",
+			opts.metrics, snap.Sched.Done, snap.Sched.Steals, snap.Sched.PeakActive)
+	}
+	if res.failed > 0 {
+		return fmt.Errorf("%d submissions failed unexpectedly", res.failed)
+	}
+	if opts.timeout == 0 && res.done != opts.solves {
+		return fmt.Errorf("without -timeout all %d submissions must complete; %d did", opts.solves, res.done)
+	}
+	return nil
 }
 
 // runSequential is the baseline: the same batch as back-to-back

@@ -2,11 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/server"
 )
 
 func TestRunSchedMode(t *testing.T) {
@@ -62,6 +65,58 @@ func TestRunMixWithDeadlines(t *testing.T) {
 	// not fail the run; only unexpected error types do.
 	if err := run(opts, &out); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunRemoteMode drives -url against an in-process lddpd handler
+// stack: the batch goes through the client and HTTP, the outcome line
+// switches to "remote:", and -metrics fetches the server's snapshot.
+func TestRunRemoteMode(t *testing.T) {
+	srv, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	metricsPath := filepath.Join(t.TempDir(), "server_metrics.json")
+	opts := options{
+		solves: 8, size: 64, mask: "W,NW,N", seed: 1, mode: "sched",
+		url: ts.URL, retries: 2, metrics: metricsPath,
+	}
+	if err := run(opts, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "remote: 8 solves, 8 done") {
+		t.Errorf("output missing remote batch line:\n%s", got)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("server metrics file is not JSON: %v", err)
+	}
+	sched, ok := doc["sched"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics document has no sched section: %s", data)
+	}
+	if sched["done"].(float64) < 8 {
+		t.Errorf("server metrics sched.done = %v, want >= 8", sched["done"])
+	}
+}
+
+// TestRunRemoteRejectsLocalModes pins the flag guard: -url only makes
+// sense for the sched batch, not the local seq/compare baselines.
+func TestRunRemoteRejectsLocalModes(t *testing.T) {
+	var out strings.Builder
+	opts := options{solves: 2, size: 32, mask: "W,N", mode: "compare", url: "http://127.0.0.1:1"}
+	if err := run(opts, &out); err == nil {
+		t.Error("-url with -mode compare accepted")
 	}
 }
 

@@ -1,0 +1,111 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/server"
+	"repro/lddp"
+	"repro/lddp/client"
+)
+
+// newBenchService is newTestService without t.Cleanup: the benchmark
+// closes the stack explicitly so teardown stays outside the timer.
+func newBenchService(b *testing.B, cfg server.Config) (*server.Server, *httptest.Server, *client.Client) {
+	b.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	c, err := client.New(ts.URL, client.WithRetry(client.RetryPolicy{MaxAttempts: 1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, ts, c
+}
+
+// BenchmarkServerSolveBatch8x512 measures server-mode throughput: a batch
+// of concurrent solves through the full network stack (JSON encode, HTTP
+// round trip over loopback, handler validation, scheduler, digest,
+// response) versus the same batch submitted straight to the facade — the
+// spread between the two sub-benchmarks is the wire tax. The per-op byte
+// rate is table cells produced, mirroring BenchmarkSchedulerBatch16x1024.
+func BenchmarkServerSolveBatch8x512(b *testing.B) {
+	const (
+		batch = 8
+		size  = 512
+		chunk = 128
+	)
+	workers := runtime.GOMAXPROCS(0)
+
+	b.Run("wire", func(b *testing.B) {
+		srv, ts, c := newBenchService(b, server.Config{
+			Workers: workers, Chunk: chunk, MaxInflight: batch,
+		})
+		defer func() { c.Close(); ts.Close(); srv.Close() }()
+		b.SetBytes(int64(batch) * size * size * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runWireBatch(b, c, batch, size)
+		}
+	})
+
+	b.Run("direct", func(b *testing.B) {
+		s, err := lddp.NewScheduler(lddp.WithSchedulerWorkers(workers), lddp.WithSchedulerChunk(chunk))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.SetBytes(int64(batch) * size * size * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, batch)
+			for k := 0; k < batch; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					p := server.MixProblem(int64(k), lddp.DepW|lddp.DepN, size, size)
+					sub, err := lddp.Submit(context.Background(), s, p)
+					if err != nil {
+						errs[k] = err
+						return
+					}
+					_, errs[k] = sub.Wait()
+				}(k)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func runWireBatch(b *testing.B, c *client.Client, batch, size int) {
+	b.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, batch)
+	for k := 0; k < batch; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			_, errs[k] = c.Solve(context.Background(), &client.SolveRequest{
+				Rows: size, Cols: size, Mask: "W,N",
+				Workload: client.WorkloadSpec{Kind: client.KindMix, Seed: int64(k)},
+			})
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

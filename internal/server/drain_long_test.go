@@ -1,0 +1,18 @@
+//go:build soak
+
+package server_test
+
+import "testing"
+
+// TestServerDrainSoakLong is the extended drain soak, opt-in via
+// -tags soak: hundreds of randomized requests with client-side cancels
+// and mid-batch drains, meant to run under -race. Same invariants as the
+// short soak, more exposure.
+func TestServerDrainSoakLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak skipped in -short mode")
+	}
+	for seed := int64(2); seed < 5; seed++ {
+		runDrainSoak(t, 200, 96, seed)
+	}
+}

@@ -1,0 +1,9 @@
+package server
+
+// AcquireInflightForTest occupies one in-flight limiter slot and returns
+// its release, letting tests hit the 429 path deterministically instead
+// of racing real solves against the limiter.
+func (s *Server) AcquireInflightForTest() func() {
+	s.inflight <- struct{}{}
+	return func() { <-s.inflight }
+}

@@ -1,0 +1,108 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/server"
+	"repro/lddp/client"
+)
+
+// fuzzService lazily boots one shared service for the fuzz target. The
+// caps are tiny so any input the validator accepts is a sub-millisecond
+// solve — the fuzzer probes the decoder and validator, not the kernel.
+var fuzzService struct {
+	once sync.Once
+	ts   *httptest.Server
+}
+
+func fuzzURL() string {
+	fuzzService.once.Do(func() {
+		srv, err := server.New(server.Config{
+			Workers: 2, MaxInflight: 64,
+			MaxCells: 4096, MaxInlineCells: 256, MaxResponseCells: 256,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fuzzService.ts = httptest.NewServer(srv.Handler())
+	})
+	return fuzzService.ts.URL
+}
+
+// FuzzSolveRequest throws arbitrary bytes at the wire boundary. The
+// invariants: the decoder/validator never panics, and every input ends
+// in a well-formed response — a 4xx with a JSON ErrorBody, or a 200
+// whose body decodes as a SolveResponse with a digest. 5xx would mean a
+// malformed request escaped validation into the scheduler.
+func FuzzSolveRequest(f *testing.F) {
+	// Valid corpus: one request per workload kind, drawn from the e2e
+	// suite's shapes, plus edge and junk seeds.
+	valid := []client.SolveRequest{
+		{Rows: 31, Cols: 37, Mask: "W,N", Workload: client.WorkloadSpec{Kind: client.KindMix, Seed: 1}},
+		{Rows: 1, Cols: 33, Mask: "{W,NW,NE}", Workload: client.WorkloadSpec{Kind: client.KindServe}, Chunk: 8},
+		{Rows: 2, Cols: 2, Mask: "N", Workload: client.WorkloadSpec{Kind: client.KindCost, Cells: [][]int64{{1, 2}, {3, 4}}}},
+		{Rows: 33, Cols: 1, Workload: client.WorkloadSpec{Kind: client.KindAlign, Seed: 3}, ReturnCells: true},
+		{Rows: 48, Cols: 48, Mask: "w,nw,n,ne", DeadlineMS: 50, Strategy: "parallel"},
+	}
+	for _, req := range valid {
+		doc, err := json.Marshal(req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(doc))
+	}
+	f.Add(`{}`)
+	f.Add(`{"rows":-1,"cols":5}`)
+	f.Add(`{"rows":1000000,"cols":1000000}`)
+	f.Add(`{"rows":4,"cols":4,"mask":"E"}`)
+	f.Add(`{"rows":4,"cols":4,"workload":{"kind":"cost","cells":[[1,2]]}}`)
+	f.Add(`{"rows":4,"cols":4}{"rows":4,"cols":4}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`null`)
+	f.Add("\x00\xff not json at all")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		// Layer 1: the decoder alone must never panic and must keep the
+		// one-document framing rule.
+		if req, err := server.ParseSolveRequest(strings.NewReader(body)); err == nil && req == nil {
+			t.Fatal("ParseSolveRequest returned nil request and nil error")
+		}
+
+		// Layer 2: the full handler stack.
+		resp, err := http.Post(fuzzURL()+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error: %v", err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		if err != nil {
+			t.Fatalf("reading response: %v", err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var out client.SolveResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				t.Fatalf("200 body does not decode as SolveResponse: %v\n%s", err, raw)
+			}
+			if out.Status != "done" || out.ID <= 0 || out.Digest == "" {
+				t.Fatalf("200 response malformed: %+v", out)
+			}
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			var out client.ErrorBody
+			if err := json.Unmarshal(raw, &out); err != nil {
+				t.Fatalf("%d body does not decode as ErrorBody: %v\n%s", resp.StatusCode, err, raw)
+			}
+			if out.Error == "" || out.Status == "" {
+				t.Fatalf("%d response missing error/status: %s", resp.StatusCode, raw)
+			}
+		default:
+			t.Fatalf("input produced status %d (want 200 or 4xx): %s\nrequest: %q", resp.StatusCode, raw, body)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+// Package server implements the lddpd network solve service: HTTP/JSON
+// handlers over the shared scheduler (lddp.Scheduler), with request
+// validation, bounded in-flight admission, deadline propagation, status
+// mapping of the scheduler's outcome trichotomy, and graceful drain.
+// The wire protocol and client live in repro/lddp/client; DESIGN.md §10
+// documents both sides.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/workload"
+	"repro/lddp"
+	"repro/lddp/client"
+)
+
+// MixProblem builds the seeded adversarial instance family of the
+// conformance suite (internal/core/conformance_test.go): every
+// contributing neighbour and the cell position are mixed through
+// wraparound multiply-xor steps (splitmix-style), so reordered or torn
+// reads anywhere in the distributed path change the output with
+// overwhelming probability. It is the differential-test workhorse of the
+// wire boundary: the e2e suite rebuilds the same instance locally and
+// demands exact equality against the sequential oracle.
+func MixProblem(seed int64, m lddp.DepMask, rows, cols int) *lddp.Problem[int64] {
+	mix := func(v int64) int64 {
+		v *= -7046029254386353131 // odd constant; wraparound is the point
+		v ^= int64(uint64(v) >> 29)
+		v *= -4658895280553007687
+		v ^= int64(uint64(v) >> 32)
+		return v
+	}
+	return &lddp.Problem[int64]{
+		Name: fmt.Sprintf("mix-%s-%dx%d", m, rows, cols),
+		Rows: rows, Cols: cols, Deps: m,
+		F: func(i, j int, nb lddp.Neighbors[int64]) int64 {
+			v := seed + int64(i)*1_000_003 + int64(j)
+			if m.Has(lddp.DepW) {
+				v = mix(v + 3*nb.W)
+			}
+			if m.Has(lddp.DepNW) {
+				v = mix(v ^ nb.NW)
+			}
+			if m.Has(lddp.DepN) {
+				v = mix(v + nb.N<<1)
+			}
+			if m.Has(lddp.DepNE) {
+				v = mix(v - nb.NE)
+			}
+			return v
+		},
+		Boundary: func(i, j int) int64 {
+			return mix(seed ^ (int64(i) << 20) ^ int64(j))
+		},
+		BytesPerCell: 8,
+	}
+}
+
+// ServeProblem builds the load driver's benchmark recurrence (cheap
+// add/xor mixing of every contributing neighbour — the cost class of real
+// DP kernels, the same work per cell regardless of mask). cmd/lddpserve
+// uses it for both its in-process and -url modes, so local and remote
+// throughput runs execute the identical kernel.
+func ServeProblem(m lddp.DepMask, rows, cols int) *lddp.Problem[int64] {
+	return &lddp.Problem[int64]{
+		Name: fmt.Sprintf("serve-%s-%dx%d", m, rows, cols),
+		Rows: rows, Cols: cols, Deps: m,
+		F: func(i, j int, nb lddp.Neighbors[int64]) int64 {
+			v := int64(i*31 + j*17)
+			if m.Has(lddp.DepW) {
+				v += 2*nb.W + 1
+			}
+			if m.Has(lddp.DepNW) {
+				v += 3 * nb.NW
+			}
+			if m.Has(lddp.DepN) {
+				v += nb.N ^ 9
+			}
+			if m.Has(lddp.DepNE) {
+				v += nb.NE - 7
+			}
+			return v
+		},
+		Boundary:     func(i, j int) int64 { return int64(i + 2*j) },
+		BytesPerCell: 8,
+	}
+}
+
+// CostProblem builds a min-plus shortest-path recurrence over a cost
+// grid: cell = cost[i][j] + min over contributing neighbours (boundary
+// reads cost zero). cells must be rows x cols, row-major. This is the
+// inline-payload kind: the request carries the costs, so the server
+// computes over caller data rather than a seeded generator.
+func CostProblem(m lddp.DepMask, rows, cols int, cells [][]int64) (*lddp.Problem[int64], error) {
+	if len(cells) != rows {
+		return nil, fmt.Errorf("cost cells have %d rows, want %d", len(cells), rows)
+	}
+	for i, row := range cells {
+		if len(row) != cols {
+			return nil, fmt.Errorf("cost cells row %d has %d values, want %d", i, len(row), cols)
+		}
+	}
+	return &lddp.Problem[int64]{
+		Name: fmt.Sprintf("cost-%s-%dx%d", m, rows, cols),
+		Rows: rows, Cols: cols, Deps: m,
+		F: func(i, j int, nb lddp.Neighbors[int64]) int64 {
+			best := int64(0)
+			have := false
+			take := func(v int64) {
+				if !have || v < best {
+					best, have = v, true
+				}
+			}
+			if m.Has(lddp.DepW) {
+				take(nb.W)
+			}
+			if m.Has(lddp.DepNW) {
+				take(nb.NW)
+			}
+			if m.Has(lddp.DepN) {
+				take(nb.N)
+			}
+			if m.Has(lddp.DepNE) {
+				take(nb.NE)
+			}
+			return cells[i][j] + best
+		},
+		BytesPerCell: 8,
+	}, nil
+}
+
+// GeneratedCostCells builds the seeded cost grid used by the "cost" kind
+// when the request carries no inline payload, reusing the shortest-path
+// generator of internal/workload (costs in [1, 64]).
+func GeneratedCostCells(seed int64, rows, cols int) [][]int64 {
+	g := workload.CostGrid(uint64(seed), rows, cols, 64)
+	cells := make([][]int64, rows)
+	for i := range cells {
+		cells[i] = make([]int64, cols)
+		for j := range cells[i] {
+			cells[i][j] = int64(g[i][j])
+		}
+	}
+	return cells
+}
+
+// AlignMask is the fixed contributing set of the "align" kind.
+const AlignMask = lddp.DepW | lddp.DepNW | lddp.DepN
+
+// AlignProblem builds an edit-distance instance over two similar DNA
+// strings from internal/workload (length rows and cols, ~5% mutations):
+// the classic {W,NW,N} alignment recurrence on a realistic near-identical
+// input pair.
+func AlignProblem(seed int64, rows, cols int) *lddp.Problem[int64] {
+	a, b := workload.SimilarStrings(uint64(seed), rows, workload.DNAAlphabet, 0.05)
+	if cols != rows {
+		b = workload.RandomString(uint64(seed)+1, cols, workload.DNAAlphabet)
+	}
+	return &lddp.Problem[int64]{
+		Name: fmt.Sprintf("align-%dx%d", rows, cols),
+		Rows: rows, Cols: cols, Deps: AlignMask,
+		F: func(i, j int, nb lddp.Neighbors[int64]) int64 {
+			sub := nb.NW
+			if a[i] != b[j] {
+				sub++
+			}
+			v := sub
+			if d := nb.W + 1; d < v {
+				v = d
+			}
+			if d := nb.N + 1; d < v {
+				v = d
+			}
+			return v
+		},
+		// Boundary encodes the first row/column of the classic DP: the
+		// distance of a prefix against the empty string.
+		Boundary: func(i, j int) int64 {
+			if i < 0 && j < 0 {
+				return 0
+			}
+			if i < 0 {
+				return int64(j + 1)
+			}
+			return int64(i + 1)
+		},
+		BytesPerCell: 8,
+	}
+}
+
+// BuildProblem materializes the DP problem of a validated solve request.
+// It is exported (and deterministic in the request) so the e2e
+// differential suite can rebuild the exact server-side instance for its
+// sequential oracle.
+func BuildProblem(req *client.SolveRequest) (*lddp.Problem[int64], error) {
+	kind := req.Workload.Kind
+	if kind == "" {
+		kind = client.KindMix
+	}
+	mask := AlignMask
+	if kind != client.KindAlign {
+		var err error
+		mask = lddp.DepW | lddp.DepN
+		if req.Mask != "" {
+			mask, err = lddp.ParseDepMask(req.Mask)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else if req.Mask != "" {
+		m, err := lddp.ParseDepMask(req.Mask)
+		if err != nil {
+			return nil, err
+		}
+		if m != AlignMask {
+			return nil, fmt.Errorf("the align workload runs the fixed %s recurrence; omit mask or pass %q", AlignMask, AlignMask.String())
+		}
+	}
+	switch kind {
+	case client.KindMix:
+		return MixProblem(req.Workload.Seed, mask, req.Rows, req.Cols), nil
+	case client.KindServe:
+		return ServeProblem(mask, req.Rows, req.Cols), nil
+	case client.KindCost:
+		cells := req.Workload.Cells
+		if cells == nil {
+			cells = GeneratedCostCells(req.Workload.Seed, req.Rows, req.Cols)
+		}
+		return CostProblem(mask, req.Rows, req.Cols, cells)
+	case client.KindAlign:
+		return AlignProblem(req.Workload.Seed, req.Rows, req.Cols), nil
+	default:
+		return nil, fmt.Errorf("unknown workload kind %q (want mix, serve, cost or align)", kind)
+	}
+}
+
+// DigestGrid computes the FNV-1a 64-bit digest of a grid's dimensions and
+// row-major cell values, rendered as hex: a compact equality witness for
+// tables too large to return over the wire.
+func DigestGrid(g *lddp.Grid[int64]) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.Rows())<<32|uint64(g.Cols()))
+	h.Write(buf[:])
+	for _, v := range g.RowMajorData() {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

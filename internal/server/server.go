@@ -1,0 +1,394 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/lddp"
+	"repro/lddp/client"
+)
+
+// Config configures a Server. The zero value selects all defaults.
+type Config struct {
+	// Workers, Queue, MaxActive and Chunk configure the underlying
+	// shared scheduler (lddp.NewScheduler semantics: <= 0 selects the
+	// scheduler defaults).
+	Workers, Queue, MaxActive, Chunk int
+
+	// MaxInflight bounds the solve requests admitted concurrently,
+	// in front of the scheduler's own queue: past it the server answers
+	// 429 immediately instead of deepening the queue. <= 0 selects
+	// 4 * the resolved worker count.
+	MaxInflight int
+
+	// MaxCells, MaxInlineCells, MaxResponseCells and MaxBodyBytes are
+	// the request-validation caps; <= 0 selects the Default* constants.
+	MaxCells         int64
+	MaxInlineCells   int
+	MaxResponseCells int
+	MaxBodyBytes     int64
+
+	// RetryAfter is the pushback hint attached to 429/503 responses.
+	// <= 0 selects one second.
+	RetryAfter time.Duration
+
+	// TraceDir, when non-empty, records a runtime trace of every solve
+	// and writes it as <TraceDir>/solve-<id>.json (Chrome/Perfetto
+	// trace-event JSON, the lddptrace input format).
+	TraceDir string
+
+	// Metrics receives the scheduler's Collector and SchedCollector
+	// streams and backs GET /metrics. Nil allocates a fresh one.
+	Metrics *lddp.Metrics
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxCells <= 0 {
+		c.MaxCells = DefaultMaxCells
+	}
+	if c.MaxInlineCells <= 0 {
+		c.MaxInlineCells = DefaultMaxInlineCells
+	}
+	if c.MaxResponseCells <= 0 {
+		c.MaxResponseCells = DefaultMaxResponseCells
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = &lddp.Metrics{}
+	}
+	return c
+}
+
+// Server is the lddpd solve service: HTTP handlers over one shared
+// scheduler. Construct with New, mount Handler on an http.Server, and
+// shut down with BeginDrain/Drain/Close (in that order — cmd/lddpd shows
+// the full sequence). All methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	sched *lddp.Scheduler
+
+	inflight chan struct{} // bounded in-flight limiter tokens
+	active   atomic.Int64  // solve requests currently inside the handler
+	draining atomic.Bool
+}
+
+// New builds a Server and starts its scheduler.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s, err := lddp.NewScheduler(
+		lddp.WithSchedulerWorkers(cfg.Workers),
+		lddp.WithSchedulerQueue(cfg.Queue),
+		lddp.WithSchedulerMaxActive(cfg.MaxActive),
+		lddp.WithSchedulerChunk(cfg.Chunk),
+		lddp.WithSchedulerCollector(cfg.Metrics),
+	)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4 * s.Config().Workers
+	}
+	return &Server{
+		cfg:      cfg,
+		sched:    s,
+		inflight: make(chan struct{}, cfg.MaxInflight),
+	}, nil
+}
+
+// Config returns the resolved configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Metrics returns the server's metrics collector.
+func (s *Server) Metrics() *lddp.Metrics { return s.cfg.Metrics }
+
+// Handler returns the service mux: POST /v1/solve, GET /healthz,
+// GET /readyz, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// BeginDrain flips the server into draining: GET /readyz answers 503 (so
+// load balancers stop routing here) and new solve submissions are
+// refused with 503, while already-admitted solves run to completion.
+// Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ActiveRequests returns the number of solve requests currently being
+// served (admitted past the limiter, response not yet written).
+func (s *Server) ActiveRequests() int { return int(s.active.Load()) }
+
+// Drain flips the server into draining and waits until every in-flight
+// solve request has finished, or ctx ends — the bounded-drain step
+// between "stop accepting" and Close. It returns ctx's cause when the
+// bound expires with solves still running.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for s.active.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain expired with %d solves in flight: %w", s.active.Load(), context.Cause(ctx))
+		case <-tick.C:
+		}
+	}
+	return nil
+}
+
+// Close shuts the scheduler down (draining its admitted solves) and
+// releases the server's resources. Call after Drain; a Close with
+// requests still in flight lets them finish against the closing
+// scheduler, which maps to 503s.
+func (s *Server) Close() { s.sched.Close() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	doc, err := json.MarshalIndent(s.cfg.Metrics.Snapshot(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(doc)
+	w.Write([]byte("\n"))
+}
+
+// writeError renders one ErrorBody with the mapped HTTP status; 429 and
+// 503 carry the Retry-After pushback in both header (whole seconds,
+// rounded up) and body (milliseconds).
+func (s *Server) writeError(w http.ResponseWriter, code int, status string, id int64, msg string) {
+	body := client.ErrorBody{Status: status, Error: msg, ID: id}
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		body.RetryAfterMS = s.cfg.RetryAfter.Milliseconds()
+		secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	if id > 0 {
+		w.Header().Set(client.SolveIDHeader, strconv.FormatInt(id, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}
+
+// handleSolve runs one POST /v1/solve request end to end: limiter,
+// decode, validate, build, submit with the request context (plus the
+// optional deadline), and map the scheduler's outcome trichotomy onto
+// the wire:
+//
+//	done                          -> 200 SolveResponse
+//	*Rejected (queue full)        -> 429 + Retry-After
+//	*Rejected (closed / draining) -> 503 + Retry-After
+//	*Rejected (deadline queued)   -> 408
+//	*Canceled (deadline mid-run)  -> 408
+//	*Canceled (caller went away)  -> 499 (best-effort; nobody is reading)
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "invalid", 0, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining", 0, "server is draining")
+		return
+	}
+	// The in-flight limiter sits in front of scheduler admission: a
+	// saturated service answers immediately instead of stacking HTTP
+	// handlers behind the scheduler queue.
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.writeError(w, http.StatusTooManyRequests, "rejected", 0,
+			fmt.Sprintf("server at its in-flight limit (%d)", s.cfg.MaxInflight))
+		return
+	}
+	s.active.Add(1)
+	defer func() {
+		s.active.Add(-1)
+		<-s.inflight
+	}()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := ParseSolveRequest(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid", 0, err.Error())
+		return
+	}
+	if err := s.ValidateRequest(req); err != nil {
+		code := http.StatusBadRequest
+		if int64(req.Rows)*int64(req.Cols) > s.cfg.MaxCells && req.Rows > 0 && req.Cols > 0 {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, code, "invalid", 0, err.Error())
+		return
+	}
+	problem, err := BuildProblem(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid", 0, err.Error())
+		return
+	}
+
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	opts := []lddp.Option{}
+	if req.Strategy == "parallel" {
+		opts = append(opts, lddp.WithStrategy(lddp.Parallel))
+	}
+	if req.Chunk > 0 {
+		opts = append(opts, lddp.WithChunk(req.Chunk))
+	}
+	var tracer *lddp.Tracer
+	if s.cfg.TraceDir != "" {
+		tracer = lddp.NewTracer()
+		opts = append(opts, lddp.WithTracer(tracer))
+	}
+
+	start := time.Now()
+	sub, err := lddp.Submit(ctx, s.sched, problem, opts...)
+	if err != nil {
+		s.writeSubmitError(w, r, err)
+		return
+	}
+	id := sub.ID()
+	grid, err := sub.Wait()
+	if tracer != nil {
+		s.writeTraceFile(id, tracer)
+	}
+	if err != nil {
+		s.writeOutcomeError(w, r, id, err)
+		return
+	}
+	elapsed := time.Since(start)
+
+	resp := client.SolveResponse{
+		ID:        id,
+		Status:    "done",
+		Rows:      problem.Rows,
+		Cols:      problem.Cols,
+		Mask:      problem.Deps.String(),
+		Pattern:   lddp.Classify(problem.Deps).String(),
+		Digest:    DigestGrid(grid),
+		ElapsedMS: float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	if req.ReturnCells && int64(problem.Rows)*int64(problem.Cols) <= int64(s.cfg.MaxResponseCells) {
+		cells := make([][]int64, problem.Rows)
+		for i := range cells {
+			row := make([]int64, problem.Cols)
+			for j := range row {
+				row[j] = grid.At(i, j)
+			}
+			cells[i] = row
+		}
+		resp.Cells = cells
+	}
+	w.Header().Set(client.SolveIDHeader, strconv.FormatInt(id, 10))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// writeSubmitError maps a synchronous Submit refusal onto the wire.
+func (s *Server) writeSubmitError(w http.ResponseWriter, r *http.Request, err error) {
+	var rej *lddp.Rejected
+	switch {
+	case errors.Is(err, lddp.ErrQueueFull):
+		var id int64
+		msg := "admission queue full"
+		if errors.As(err, &rej) {
+			id = rej.ID
+			msg = fmt.Sprintf("admission queue full (depth %d)", rej.QueueDepth)
+		}
+		s.writeError(w, http.StatusTooManyRequests, "rejected", id, msg)
+	case errors.Is(err, lddp.ErrSchedulerClosed):
+		s.writeError(w, http.StatusServiceUnavailable, "draining", 0, "scheduler closed")
+	case errors.As(err, &rej):
+		// Rejected for a context cause: the deadline (or the caller)
+		// ended the request before admission.
+		s.writeTimeout(w, r, rej.ID, "rejected", err)
+	default:
+		// Validation errors from the problem or options.
+		s.writeError(w, http.StatusBadRequest, "invalid", 0, err.Error())
+	}
+}
+
+// writeOutcomeError maps a post-admission failure (Wait's trichotomy
+// minus success) onto the wire.
+func (s *Server) writeOutcomeError(w http.ResponseWriter, r *http.Request, id int64, err error) {
+	var rej *lddp.Rejected
+	var can *lddp.Canceled
+	switch {
+	case errors.Is(err, lddp.ErrQueueFull):
+		s.writeError(w, http.StatusTooManyRequests, "rejected", id, err.Error())
+	case errors.Is(err, lddp.ErrSchedulerClosed):
+		s.writeError(w, http.StatusServiceUnavailable, "draining", id, "scheduler closed")
+	case errors.As(err, &can):
+		s.writeTimeout(w, r, id, "canceled", err)
+	case errors.As(err, &rej):
+		s.writeTimeout(w, r, id, "rejected", err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "error", id, err.Error())
+	}
+}
+
+// writeTimeout distinguishes the solve deadline expiring (408 — the
+// request's own budget ran out) from the caller abandoning the request
+// (499, nginx-style; the response is best-effort since nobody is
+// reading).
+func (s *Server) writeTimeout(w http.ResponseWriter, r *http.Request, id int64, status string, err error) {
+	code := http.StatusRequestTimeout
+	if r.Context().Err() != nil && !errors.Is(err, context.DeadlineExceeded) {
+		code = 499
+	}
+	s.writeError(w, code, status, id, err.Error())
+}
+
+// writeTraceFile persists one solve's trace, best-effort: a full disk or
+// bad TraceDir must not fail the solve that produced the trace.
+func (s *Server) writeTraceFile(id int64, tracer *lddp.Tracer) {
+	path := filepath.Join(s.cfg.TraceDir, fmt.Sprintf("solve-%d.json", id))
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	lddp.WriteTrace(f, tracer)
+}

@@ -1,0 +1,64 @@
+package client
+
+import (
+	"math"
+	"time"
+)
+
+// RetryPolicy bounds the client's retry loop. Retries apply only to
+// retryable failures: HTTP 429 and 503 (the server's admission pushback)
+// and transport errors; 4xx semantic failures and solve timeouts are
+// returned immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values below 1 behave as 1 (no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it. Zero selects DefaultRetryPolicy.BaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the computed backoff (a server Retry-After above the
+	// cap is honored as sent — the server knows its own drain horizon).
+	// Zero selects DefaultRetryPolicy.MaxDelay.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is used by New when WithRetry is not given: four
+// total attempts, 50 ms first backoff, 2 s cap.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryPolicy.MaxDelay
+	}
+	return p
+}
+
+// backoffDelay computes the sleep before retry number attempt (0-based:
+// attempt 0 is the delay after the first failed try). A server-provided
+// Retry-After takes precedence over the computed backoff, verbatim — the
+// server's pushback is better information than the client's guess.
+// Otherwise the delay is BaseDelay*2^attempt capped at MaxDelay, with
+// equal jitter: uniform in [d/2, d) driven by rnd in [0, 1), so
+// synchronized clients decorrelate without ever retrying sooner than half
+// the nominal backoff.
+func backoffDelay(p RetryPolicy, attempt int, retryAfter time.Duration, rnd float64) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	d := p.MaxDelay
+	// Guard the shift: past 62 doublings (or on overflow) the cap rules.
+	if attempt < 63 {
+		if scaled := p.BaseDelay << uint(attempt); scaled > 0 && scaled < d {
+			d = scaled
+		}
+	}
+	half := d / 2
+	return half + time.Duration(math.Floor(rnd*float64(d-half)))
+}

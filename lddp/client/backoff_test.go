@@ -1,0 +1,86 @@
+package client
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayTable pins the backoff schedule: exponential doubling
+// from BaseDelay, capped at MaxDelay, equal jitter in [d/2, d), and a
+// server Retry-After overriding everything verbatim.
+func TestBackoffDelayTable(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+	cases := []struct {
+		name       string
+		attempt    int
+		retryAfter time.Duration
+		rnd        float64
+		want       time.Duration
+	}{
+		// rnd=0 pins the lower jitter edge: exactly half the nominal delay.
+		{"attempt0-low", 0, 0, 0, 25 * time.Millisecond},
+		{"attempt1-low", 1, 0, 0, 50 * time.Millisecond},
+		{"attempt2-low", 2, 0, 0, 100 * time.Millisecond},
+		{"attempt3-low", 3, 0, 0, 200 * time.Millisecond},
+		// 50ms << 6 = 3.2s exceeds the 2s cap: the cap rules from here on.
+		{"attempt6-capped-low", 6, 0, 0, time.Second},
+		{"attempt9-capped-low", 9, 0, 0, time.Second},
+		// The shift guard: doubling past any representable duration still
+		// lands on the cap instead of wrapping negative.
+		{"attempt70-guarded", 70, 0, 0, time.Second},
+		// rnd=0.5 lands mid-window: d/2 + (d - d/2)/2 = 3d/4.
+		{"attempt0-mid", 0, 0, 0.5, 37500 * time.Microsecond},
+		{"attempt2-mid", 2, 0, 0.5, 150 * time.Millisecond},
+		// Retry-After wins over the computed backoff, verbatim — even above
+		// MaxDelay, and jitter does not apply to it.
+		{"retry-after-precedence", 0, 700 * time.Millisecond, 0.99, 700 * time.Millisecond},
+		{"retry-after-above-cap", 5, 10 * time.Second, 0.01, 10 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := backoffDelay(p, tc.attempt, tc.retryAfter, tc.rnd); got != tc.want {
+				t.Errorf("backoffDelay(attempt=%d, retryAfter=%v, rnd=%v) = %v, want %v",
+					tc.attempt, tc.retryAfter, tc.rnd, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBackoffDelayJitterBounds sweeps the jitter window edges: for every
+// attempt the delay must stay in [d/2, d) — never sooner than half the
+// nominal backoff, never the full nominal value (rnd < 1).
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 30 * time.Millisecond, MaxDelay: time.Second}.withDefaults()
+	almostOne := math.Nextafter(1, 0)
+	for attempt := 0; attempt < 12; attempt++ {
+		nominal := p.MaxDelay
+		if attempt < 63 {
+			if scaled := p.BaseDelay << uint(attempt); scaled > 0 && scaled < nominal {
+				nominal = scaled
+			}
+		}
+		for _, rnd := range []float64{0, 0.25, 0.5, 0.75, almostOne} {
+			got := backoffDelay(p, attempt, 0, rnd)
+			if got < nominal/2 || got >= nominal {
+				t.Errorf("attempt %d rnd %v: delay %v outside [%v, %v)", attempt, rnd, got, nominal/2, nominal)
+			}
+		}
+	}
+}
+
+// TestRetryPolicyWithDefaults pins the zero-value resolution rules.
+func TestRetryPolicyWithDefaults(t *testing.T) {
+	got := RetryPolicy{}.withDefaults()
+	if got.MaxAttempts != 1 {
+		t.Errorf("zero MaxAttempts resolved to %d, want 1 (no retries)", got.MaxAttempts)
+	}
+	if got.BaseDelay != DefaultRetryPolicy.BaseDelay || got.MaxDelay != DefaultRetryPolicy.MaxDelay {
+		t.Errorf("zero delays resolved to %v/%v, want defaults %v/%v",
+			got.BaseDelay, got.MaxDelay, DefaultRetryPolicy.BaseDelay, DefaultRetryPolicy.MaxDelay)
+	}
+	full := RetryPolicy{MaxAttempts: 7, BaseDelay: time.Millisecond, MaxDelay: time.Minute}
+	if got := full.withDefaults(); got != full {
+		t.Errorf("non-zero policy altered by withDefaults: %+v -> %+v", full, got)
+	}
+}

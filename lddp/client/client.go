@@ -1,0 +1,306 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/lddp"
+)
+
+// Sentinel errors matching the server's status mapping; match them with
+// errors.Is against any error a Client method returns. The concrete type
+// carrying the details is *APIError.
+var (
+	// ErrOverloaded: HTTP 429 — the in-flight limiter or admission queue
+	// refused the solve. Retryable; the server suggests when.
+	ErrOverloaded = errors.New("lddp client: server overloaded")
+	// ErrUnavailable: HTTP 503 — the server is draining or its scheduler
+	// is closed. Retryable against a replica; this instance is going away.
+	ErrUnavailable = errors.New("lddp client: server unavailable")
+	// ErrTimeout: HTTP 408 (deadline expired server-side) or 499 (the
+	// request was abandoned mid-solve). Not retried — the deadline was the
+	// caller's budget.
+	ErrTimeout = errors.New("lddp client: solve timed out")
+	// ErrInvalid: any other 4xx — the request itself is wrong and a retry
+	// would fail identically.
+	ErrInvalid = errors.New("lddp client: invalid request")
+)
+
+// APIError is a non-2xx solve response decoded from the server's
+// ErrorBody. It unwraps to the matching sentinel (ErrOverloaded,
+// ErrUnavailable, ErrTimeout, ErrInvalid).
+type APIError struct {
+	// HTTPStatus is the response status code.
+	HTTPStatus int
+	// Status is the wire status classifier ("rejected", "draining", ...).
+	Status string
+	// Message is the server's error text.
+	Message string
+	// SolveID is the scheduler-assigned solve ID, when one was assigned.
+	SolveID int64
+	// RetryAfter is the server's pushback hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("lddp client: server returned %d (%s): %s", e.HTTPStatus, e.Status, e.Message)
+}
+
+// Unwrap maps the HTTP status onto the sentinel errors.
+func (e *APIError) Unwrap() error {
+	switch e.HTTPStatus {
+	case http.StatusTooManyRequests:
+		return ErrOverloaded
+	case http.StatusServiceUnavailable:
+		return ErrUnavailable
+	case http.StatusRequestTimeout, 499:
+		return ErrTimeout
+	default:
+		if e.HTTPStatus >= 400 && e.HTTPStatus < 500 {
+			return ErrInvalid
+		}
+		return nil
+	}
+}
+
+// retryable reports whether a retry could succeed: admission pushback
+// can clear; everything else returns the same answer again.
+func (e *APIError) retryable() bool {
+	return e.HTTPStatus == http.StatusTooManyRequests || e.HTTPStatus == http.StatusServiceUnavailable
+}
+
+// Client talks to one lddpd server. It is safe for concurrent use; the
+// zero value is not usable — construct with New.
+type Client struct {
+	base   string
+	hc     *http.Client
+	policy RetryPolicy
+
+	ownTransport *http.Transport // closed by Close when the client made it
+
+	jitterMu sync.Mutex
+	jitter   func() float64
+	sleep    func(context.Context, time.Duration) error
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient supplies the underlying HTTP client (connection pool,
+// TLS, proxies). Without it the Client builds its own from a clone of
+// http.DefaultTransport, which Close releases.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry sets the retry policy; zero fields select the defaults.
+// RetryPolicy{MaxAttempts: 1} disables retries entirely.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.policy = p }
+}
+
+// WithJitterSource replaces the backoff jitter source with rnd (must
+// return values in [0, 1)); for deterministic tests.
+func WithJitterSource(rnd func() float64) Option {
+	return func(c *Client) { c.jitter = rnd }
+}
+
+// New returns a Client for the server at base (e.g. "http://host:8080").
+func New(base string, opts ...Option) (*Client, error) {
+	base = strings.TrimRight(base, "/")
+	if base == "" || (!strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://")) {
+		return nil, fmt.Errorf("lddp client: base URL %q must be http(s)://host[:port]", base)
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	c := &Client{
+		base:   base,
+		policy: DefaultRetryPolicy,
+		jitter: rng.Float64,
+		sleep:  sleepCtx,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.policy = c.policy.withDefaults()
+	if c.hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		c.ownTransport = tr
+		c.hc = &http.Client{Transport: tr}
+	}
+	return c, nil
+}
+
+// Close releases the client's own connection pool (a no-op when the
+// transport was supplied via WithHTTPClient).
+func (c *Client) Close() {
+	if c.ownTransport != nil {
+		c.ownTransport.CloseIdleConnections()
+	}
+}
+
+// rnd draws one jitter sample; the lock keeps the default math/rand
+// source safe under concurrent Solve calls.
+func (c *Client) rnd() float64 {
+	c.jitterMu.Lock()
+	defer c.jitterMu.Unlock()
+	return c.jitter()
+}
+
+// sleepCtx sleeps for d or until the context ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// Solve submits one solve request and returns the decoded response. On
+// 429/503 (and transport errors) it retries under the client's
+// RetryPolicy, honoring the server's Retry-After over its own backoff;
+// when the budget is exhausted the last typed error is returned. All
+// other non-2xx responses return a *APIError immediately.
+func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+	if req == nil {
+		return nil, fmt.Errorf("lddp client: nil request")
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("lddp client: encoding request: %w", err)
+	}
+	var last error
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			var retryAfter time.Duration
+			var apiErr *APIError
+			if errors.As(last, &apiErr) {
+				retryAfter = apiErr.RetryAfter
+			}
+			d := backoffDelay(c.policy, attempt-1, retryAfter, c.rnd())
+			if err := c.sleep(ctx, d); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.trySolve(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		last = err
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !apiErr.retryable() {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, last
+		}
+	}
+	return nil, last
+}
+
+// trySolve performs one POST /v1/solve round trip.
+func (c *Client) trySolve(ctx context.Context, body []byte) (*SolveResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("lddp client: %w", err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeError(hresp)
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(io.LimitReader(hresp.Body, 64<<20)).Decode(&out); err != nil {
+		return nil, fmt.Errorf("lddp client: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// decodeError builds the *APIError of a non-2xx response, surviving
+// non-JSON bodies (proxies, panics) with the raw text as the message.
+func decodeError(hresp *http.Response) *APIError {
+	apiErr := &APIError{HTTPStatus: hresp.StatusCode, Status: "error"}
+	raw, _ := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+	var body ErrorBody
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		apiErr.Status = body.Status
+		apiErr.Message = body.Error
+		apiErr.SolveID = body.ID
+		apiErr.RetryAfter = time.Duration(body.RetryAfterMS) * time.Millisecond
+	} else {
+		apiErr.Message = strings.TrimSpace(string(raw))
+	}
+	// The header is coarser (whole seconds) but authoritative when the
+	// body carried no hint.
+	if apiErr.RetryAfter <= 0 {
+		if s, err := strconv.Atoi(hresp.Header.Get("Retry-After")); err == nil && s > 0 {
+			apiErr.RetryAfter = time.Duration(s) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// Health reports whether the server process is up (GET /healthz).
+func (c *Client) Health(ctx context.Context) error {
+	return c.getOK(ctx, "/healthz")
+}
+
+// Ready reports whether the server is accepting solves (GET /readyz);
+// a draining server returns ErrUnavailable.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.getOK(ctx, "/readyz")
+}
+
+// Metrics fetches the server's metrics snapshot (GET /metrics).
+func (c *Client) Metrics(ctx context.Context) (*lddp.MetricsSnapshot, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("lddp client: %w", err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeError(hresp)
+	}
+	var snap lddp.MetricsSnapshot
+	if err := json.NewDecoder(io.LimitReader(hresp.Body, 16<<20)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("lddp client: decoding metrics: %w", err)
+	}
+	return &snap, nil
+}
+
+func (c *Client) getOK(ctx context.Context, path string) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("lddp client: %w", err)
+	}
+	defer hresp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(hresp.Body, 4096))
+	if hresp.StatusCode != http.StatusOK {
+		return &APIError{HTTPStatus: hresp.StatusCode, Status: "error", Message: path + " returned " + hresp.Status}
+	}
+	return nil
+}
