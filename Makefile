@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench bench-server bench-all experiments figures quick cover trace sched-smoke serve-smoke soak soak-server conformance e2e clean
+.PHONY: all build test vet check race bench bench-server bench-wire bench-all experiments figures quick cover trace sched-smoke serve-smoke soak soak-server conformance e2e clean
 
 all: build vet test
 
@@ -78,11 +78,24 @@ serve-smoke:
 	  rm -f lddpd.bin; \
 	  exit $$rc
 
-# Server-mode throughput: the full network stack (JSON + HTTP + handler +
+# Server-mode throughput: the full network stack (codec + HTTP + handler +
 # scheduler) vs direct facade submission, archived as BENCH_server.json.
 bench-server:
 	$(GO) test -run '^$$' -bench=ServerSolve -benchmem -cpu 4 -benchtime 3x ./internal/server/ | tee bench_server_output.txt
 	$(GO) run ./cmd/benchjson -desc "Server-mode reference run: wire vs direct batch throughput. Regenerate with \`make bench-server\`." < bench_server_output.txt > BENCH_server.json
+
+# Wire-codec benchmark gate: the json/binary/cached server variants plus
+# the frame codec micro-benchmark, archived as BENCH_server.json with the
+# allocation budgets asserted (exit 1 on regression). Budgets: the cold
+# binary batch (8 HTTP round trips; ~180 allocs each, nearly all
+# net/http) and the pure frame codec (pooled; single digits).
+bench-wire:
+	$(GO) test -run '^$$' -bench=ServerSolve -benchmem -cpu 4 -benchtime 3x ./internal/server/ | tee bench_server_output.txt
+	$(GO) test -run '^$$' -bench=EncodeDecode -benchmem -benchtime 100x ./internal/wire/ | tee -a bench_server_output.txt
+	$(GO) run ./cmd/benchjson \
+	  -desc "Server-mode reference run: wire (json/binary/cached) vs direct batch throughput, plus the frame codec. Regenerate with \`make bench-wire\`." \
+	  -assert 'wire-binary<=1600' -assert 'EncodeDecode512x512<=64' \
+	  < bench_server_output.txt > BENCH_server.json
 
 # Wire-boundary differential suite: all 15 masks x adversarial shapes
 # through lddpd's handler stack and the public client, exact equality

@@ -4,6 +4,14 @@
 // run can be diffed and archived without the test-runner chatter. -desc
 // overrides the description line (e.g. to name the make target that
 // regenerates the file).
+//
+// -assert turns the converter into a budget gate: each
+// "substring<=limit" (repeatable) selects the benchmarks whose name
+// contains the substring and fails the run (exit 1, JSON still written)
+// when any of them exceeds the limit in allocs/op — the CI hook that
+// keeps a perf-sensitive path from silently regressing its allocation
+// budget. A pattern matching no benchmark is also an error: a renamed
+// benchmark must not turn the gate into a no-op.
 package main
 
 import (
@@ -39,9 +47,17 @@ type report struct {
 	Benchmarks  []result `json:"benchmarks"`
 }
 
+// assertList collects repeated -assert flags.
+type assertList []string
+
+func (a *assertList) String() string     { return strings.Join(*a, ",") }
+func (a *assertList) Set(v string) error { *a = append(*a, v); return nil }
+
 func main() {
 	desc := flag.String("desc", "Reference benchmark run; real wall-clock numbers from one machine. Regenerate with `make bench`.",
 		"description line embedded in the report")
+	var asserts assertList
+	flag.Var(&asserts, "assert", "allocs/op budget as 'substring<=limit' (repeatable); fail when any matching benchmark exceeds it")
 	flag.Parse()
 	rep := report{
 		Description: *desc,
@@ -77,6 +93,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	failed := false
+	for _, a := range asserts {
+		for _, msg := range checkAssert(a, rep.Benchmarks) {
+			fmt.Fprintln(os.Stderr, "benchjson:", msg)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkAssert evaluates one 'substring<=limit' budget against the parsed
+// results and returns one message per violation (malformed spec and
+// no-match are violations too — a silent gate is worse than none).
+func checkAssert(spec string, benchmarks []result) []string {
+	name, limitStr, ok := strings.Cut(spec, "<=")
+	if !ok {
+		return []string{fmt.Sprintf("assert %q: want 'substring<=limit'", spec)}
+	}
+	limit, err := strconv.ParseInt(strings.TrimSpace(limitStr), 10, 64)
+	if err != nil {
+		return []string{fmt.Sprintf("assert %q: bad limit: %v", spec, err)}
+	}
+	name = strings.TrimSpace(name)
+	var msgs []string
+	matched := false
+	for _, r := range benchmarks {
+		if !strings.Contains(r.Name, name) {
+			continue
+		}
+		matched = true
+		if r.AllocsPerOp > limit {
+			msgs = append(msgs, fmt.Sprintf("assert %q: %s at %d allocs/op exceeds budget %d",
+				spec, r.Name, r.AllocsPerOp, limit))
+		}
+	}
+	if !matched {
+		msgs = append(msgs, fmt.Sprintf("assert %q: no benchmark matched %q (renamed without updating the budget?)", spec, name))
+	}
+	return msgs
 }
 
 // gitCommit resolves the short commit hash of the working tree,

@@ -23,6 +23,34 @@ func TestParseLine(t *testing.T) {
 	}
 }
 
+func TestCheckAssert(t *testing.T) {
+	benchmarks := []result{
+		{Name: "BenchmarkServerSolveBatch8x512/wire-8", NsPerOp: 5e7, AllocsPerOp: 1300},
+		{Name: "BenchmarkServerSolveBatch8x512/wire-binary-8", NsPerOp: 5e7, AllocsPerOp: 1450},
+		{Name: "BenchmarkServerSolveBatch8x512/direct-8", NsPerOp: 5e7},
+	}
+	if msgs := checkAssert("wire-binary<=1600", benchmarks); len(msgs) != 0 {
+		t.Errorf("within-budget assert failed: %v", msgs)
+	}
+	if msgs := checkAssert("wire-binary<=1000", benchmarks); len(msgs) != 1 {
+		t.Errorf("over-budget assert produced %v, want one violation", msgs)
+	}
+	// "wire" matches both wire variants; the binary one breaks a budget of
+	// 1400.
+	if msgs := checkAssert("wire<=1400", benchmarks); len(msgs) != 1 {
+		t.Errorf("substring assert produced %v, want one violation", msgs)
+	}
+	if msgs := checkAssert("no-such-bench<=10", benchmarks); len(msgs) != 1 {
+		t.Errorf("unmatched assert produced %v, want one no-match error", msgs)
+	}
+	if msgs := checkAssert("garbage", benchmarks); len(msgs) != 1 {
+		t.Errorf("malformed assert produced %v, want one parse error", msgs)
+	}
+	if msgs := checkAssert("wire<=not-a-number", benchmarks); len(msgs) != 1 {
+		t.Errorf("bad-limit assert produced %v, want one parse error", msgs)
+	}
+}
+
 func TestRunMetadata(t *testing.T) {
 	rep := report{
 		GoVersion:  runtime.Version(),

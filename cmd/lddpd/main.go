@@ -33,15 +33,16 @@ import (
 )
 
 type options struct {
-	addr     string
-	workers  int
-	queue    int
-	active   int
-	chunk    int
-	inflight int
-	maxCells int64
-	drain    time.Duration
-	tracedir string
+	addr       string
+	workers    int
+	queue      int
+	active     int
+	chunk      int
+	inflight   int
+	maxCells   int64
+	cacheBytes int64
+	drain      time.Duration
+	tracedir   string
 }
 
 func main() {
@@ -53,6 +54,7 @@ func main() {
 	flag.IntVar(&opts.chunk, "chunk", 0, "cells per claim chunk (0 = default)")
 	flag.IntVar(&opts.inflight, "inflight", 0, "max in-flight solve requests (0 = 4x workers)")
 	flag.Int64Var(&opts.maxCells, "max-cells", 0, "per-request table cell cap (0 = default)")
+	flag.Int64Var(&opts.cacheBytes, "cache-bytes", 0, "result cache bound in bytes (0 = default 64 MiB, negative disables)")
 	flag.DurationVar(&opts.drain, "drain", 10*time.Second, "graceful drain bound on shutdown")
 	flag.StringVar(&opts.tracedir, "tracedir", "", "write a per-solve trace file into this directory")
 	flag.Parse()
@@ -82,6 +84,7 @@ func run(ctx context.Context, opts options, out io.Writer, addrCh chan<- string)
 		Chunk:       opts.chunk,
 		MaxInflight: opts.inflight,
 		MaxCells:    opts.maxCells,
+		CacheBytes:  opts.cacheBytes,
 		TraceDir:    opts.tracedir,
 	})
 	if err != nil {

@@ -51,6 +51,7 @@ type options struct {
 	metrics string
 	url     string
 	retries int
+	codec   string
 }
 
 func main() {
@@ -69,6 +70,7 @@ func main() {
 	flag.StringVar(&opts.metrics, "metrics", "", "write the metrics JSON snapshot to this file")
 	flag.StringVar(&opts.url, "url", "", "drive a remote lddpd server at this base URL instead of an in-process scheduler")
 	flag.IntVar(&opts.retries, "retries", 8, "client retry attempts per solve in -url mode (covers server startup)")
+	flag.StringVar(&opts.codec, "codec", "json", "wire encoding in -url mode: json | binary")
 	flag.Parse()
 	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lddpserve:", err)
@@ -253,11 +255,21 @@ func runScheduled(opts options, s *lddp.Scheduler, items []workItem) outcome {
 // server's startup window (connection refused retries like a 503), which
 // is what lets `make serve-smoke` start lddpd and the driver together.
 func runRemote(opts options, items []workItem, out io.Writer) error {
-	c, err := client.New(opts.url, client.WithRetry(client.RetryPolicy{
+	// A load driver measures the solve path; a server-side cache hit
+	// would measure a map lookup instead, so every request opts out.
+	copts := []client.Option{client.WithRetry(client.RetryPolicy{
 		MaxAttempts: opts.retries,
 		BaseDelay:   100 * time.Millisecond,
 		MaxDelay:    2 * time.Second,
-	}))
+	}), client.WithCacheControl("no-store")}
+	switch opts.codec {
+	case "", "json":
+	case "binary":
+		copts = append(copts, client.WithCodec(client.CodecBinary))
+	default:
+		return fmt.Errorf("unknown -codec %q (want json or binary)", opts.codec)
+	}
+	c, err := client.New(opts.url, copts...)
 	if err != nil {
 		return err
 	}

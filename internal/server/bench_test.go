@@ -14,14 +14,14 @@ import (
 
 // newBenchService is newTestService without t.Cleanup: the benchmark
 // closes the stack explicitly so teardown stays outside the timer.
-func newBenchService(b *testing.B, cfg server.Config) (*server.Server, *httptest.Server, *client.Client) {
+func newBenchService(b *testing.B, cfg server.Config, opts ...client.Option) (*server.Server, *httptest.Server, *client.Client) {
 	b.Helper()
 	srv, err := server.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
-	c, err := client.New(ts.URL, client.WithRetry(client.RetryPolicy{MaxAttempts: 1}))
+	c, err := client.New(ts.URL, append([]client.Option{client.WithRetry(client.RetryPolicy{MaxAttempts: 1})}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -29,11 +29,16 @@ func newBenchService(b *testing.B, cfg server.Config) (*server.Server, *httptest
 }
 
 // BenchmarkServerSolveBatch8x512 measures server-mode throughput: a batch
-// of concurrent solves through the full network stack (JSON encode, HTTP
+// of concurrent solves through the full network stack (encode, HTTP
 // round trip over loopback, handler validation, scheduler, digest,
 // response) versus the same batch submitted straight to the facade — the
-// spread between the two sub-benchmarks is the wire tax. The per-op byte
-// rate is table cells produced, mirroring BenchmarkSchedulerBatch16x1024.
+// spread between the sub-benchmarks is the wire tax. The variants pick
+// apart the tax: "wire" is the JSON codec, "wire-binary" the frame
+// codec (both cold: the result cache is disabled so every iteration
+// solves), and "wire-cached" replays a warmed cache over the binary
+// codec, measuring the service floor with the scheduler out of the
+// picture. The per-op byte rate is table cells produced, mirroring
+// BenchmarkSchedulerBatch16x1024.
 func BenchmarkServerSolveBatch8x512(b *testing.B) {
 	const (
 		batch = 8
@@ -42,17 +47,28 @@ func BenchmarkServerSolveBatch8x512(b *testing.B) {
 	)
 	workers := runtime.GOMAXPROCS(0)
 
-	b.Run("wire", func(b *testing.B) {
-		srv, ts, c := newBenchService(b, server.Config{
-			Workers: workers, Chunk: chunk, MaxInflight: batch,
-		})
-		defer func() { c.Close(); ts.Close(); srv.Close() }()
-		b.SetBytes(int64(batch) * size * size * 8)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			runWireBatch(b, c, batch, size)
+	wireVariant := func(codec []client.Option, cacheBytes int64, warm bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			srv, ts, c := newBenchService(b, server.Config{
+				Workers: workers, Chunk: chunk, MaxInflight: batch,
+				CacheBytes: cacheBytes,
+			}, codec...)
+			defer func() { c.Close(); ts.Close(); srv.Close() }()
+			if warm {
+				runWireBatch(b, c, batch, size)
+			}
+			b.SetBytes(int64(batch) * size * size * 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runWireBatch(b, c, batch, size)
+			}
 		}
-	})
+	}
+	binary := []client.Option{client.WithCodec(client.CodecBinary)}
+	b.Run("wire", wireVariant(nil, -1, false))
+	b.Run("wire-binary", wireVariant(binary, -1, false))
+	b.Run("wire-cached", wireVariant(binary, server.DefaultCacheBytes, true))
 
 	b.Run("direct", func(b *testing.B) {
 		s, err := lddp.NewScheduler(lddp.WithSchedulerWorkers(workers), lddp.WithSchedulerChunk(chunk))

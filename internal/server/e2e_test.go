@@ -33,24 +33,50 @@ var e2eShapes = [][2]int{
 
 // newTestService boots a full service stack: Server, HTTP listener, and
 // client with retries disabled (a differential test must see the first
-// answer, not a retried one).
-func newTestService(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, *client.Client) {
+// answer, not a retried one). Extra client options (e.g. WithCodec) are
+// passed through.
+func newTestService(t *testing.T, cfg server.Config, opts ...client.Option) (*server.Server, *httptest.Server, *client.Client) {
 	t.Helper()
 	srv, err := server.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
-	c, err := client.New(ts.URL, client.WithRetry(client.RetryPolicy{MaxAttempts: 1}))
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := newCodecClient(t, ts, append([]client.Option{}, opts...)...)
 	t.Cleanup(func() {
-		c.Close()
 		ts.Close()
 		srv.Close()
 	})
 	return srv, ts, c
+}
+
+// newCodecClient attaches one more client (e.g. a binary-codec one) to
+// an already-running test service.
+func newCodecClient(t *testing.T, ts *httptest.Server, opts ...client.Option) *client.Client {
+	t.Helper()
+	c, err := client.New(ts.URL, append([]client.Option{client.WithRetry(client.RetryPolicy{MaxAttempts: 1})}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// e2eCodecs enumerates the wire encodings the differential matrix runs
+// under; order matters where a shared service's cache is warm for the
+// second codec (turning that pass into a cached-replay differential).
+func e2eCodecs(t *testing.T, ts *httptest.Server) []struct {
+	name string
+	c    *client.Client
+} {
+	t.Helper()
+	return []struct {
+		name string
+		c    *client.Client
+	}{
+		{"json", newCodecClient(t, ts)},
+		{"binary", newCodecClient(t, ts, client.WithCodec(client.CodecBinary))},
+	}
 }
 
 // reportMismatch renders a reproducible failure: the instance
@@ -125,20 +151,33 @@ func mustBuild(t *testing.T, req *client.SolveRequest) *lddp.Problem[int64] {
 
 // TestE2EDifferentialAllMasks is the full wire-boundary matrix: all 15
 // dependency masks x the adversarial shapes, "mix" workload, exact
-// equality against the sequential oracle.
+// equality against the sequential oracle — run under both codecs
+// against one shared service, so the JSON pass populates the result
+// cache and the binary pass doubles as a cached-replay differential.
 func TestE2EDifferentialAllMasks(t *testing.T) {
-	_, _, c := newTestService(t, server.Config{Workers: 4, Chunk: 8})
+	srv, ts, _ := newTestService(t, server.Config{Workers: 4, Chunk: 8})
 	const seed = int64(0x5eed_1dd9)
-	for _, m := range lddp.AllDepMasks() {
-		for _, d := range e2eShapes {
-			req := &client.SolveRequest{
-				Rows: d[0], Cols: d[1],
-				Mask:     m.String(),
-				Workload: client.WorkloadSpec{Kind: client.KindMix, Seed: seed},
-				Chunk:    8,
+	for _, codec := range e2eCodecs(t, ts) {
+		t.Run(codec.name, func(t *testing.T) {
+			for _, m := range lddp.AllDepMasks() {
+				for _, d := range e2eShapes {
+					req := &client.SolveRequest{
+						Rows: d[0], Cols: d[1],
+						Mask:     m.String(),
+						Workload: client.WorkloadSpec{Kind: client.KindMix, Seed: seed},
+						Chunk:    8,
+					}
+					checkDifferential(t, codec.c, req, seed, m)
+				}
 			}
-			checkDifferential(t, c, req, seed, m)
-		}
+		})
+	}
+	// The second pass repeated the first's requests byte for byte: the
+	// whole matrix must have replayed from cache, and the differential
+	// above already proved the replays exact.
+	if stats := srv.CacheStats(); stats.Hits < int64(len(lddp.AllDepMasks())*len(e2eShapes)) {
+		t.Errorf("cache hits = %d across the repeated matrix, want at least %d",
+			stats.Hits, len(lddp.AllDepMasks())*len(e2eShapes))
 	}
 }
 
@@ -170,38 +209,92 @@ func TestE2EDifferentialSeedSweep(t *testing.T) {
 // through the same oracle: the load kernel, the inline-cells and
 // generated cost grids, and the alignment recurrence.
 func TestE2EDifferentialOtherKinds(t *testing.T) {
-	_, _, c := newTestService(t, server.Config{Workers: 4, Chunk: 8})
-	t.Run("serve", func(t *testing.T) {
-		for _, m := range []lddp.DepMask{lddp.DepW | lddp.DepN, lddp.DepNE} {
-			req := &client.SolveRequest{
-				Rows: 31, Cols: 37, Mask: m.String(),
-				Workload: client.WorkloadSpec{Kind: client.KindServe},
+	for _, codecName := range []string{"json", "binary"} {
+		t.Run(codecName, func(t *testing.T) {
+			// A fresh (cache-disabled) service per codec: every kind must
+			// exercise the cold solve path under each encoding — the
+			// inline-cost case in particular sends real payload through the
+			// binary request frame's cell section.
+			opts := []client.Option{}
+			if codecName == "binary" {
+				opts = append(opts, client.WithCodec(client.CodecBinary))
 			}
-			checkDifferential(t, c, req, 0, m)
-		}
-	})
-	t.Run("cost-inline", func(t *testing.T) {
-		m := lddp.DepW | lddp.DepNW | lddp.DepN
-		cells := server.GeneratedCostCells(7, 19, 23)
+			_, _, c := newTestService(t, server.Config{Workers: 4, Chunk: 8, CacheBytes: -1}, opts...)
+			t.Run("serve", func(t *testing.T) {
+				for _, m := range []lddp.DepMask{lddp.DepW | lddp.DepN, lddp.DepNE} {
+					req := &client.SolveRequest{
+						Rows: 31, Cols: 37, Mask: m.String(),
+						Workload: client.WorkloadSpec{Kind: client.KindServe},
+					}
+					checkDifferential(t, c, req, 0, m)
+				}
+			})
+			t.Run("cost-inline", func(t *testing.T) {
+				m := lddp.DepW | lddp.DepNW | lddp.DepN
+				cells := server.GeneratedCostCells(7, 19, 23)
+				req := &client.SolveRequest{
+					Rows: 19, Cols: 23, Mask: m.String(),
+					Workload: client.WorkloadSpec{Kind: client.KindCost, Cells: cells},
+				}
+				checkDifferential(t, c, req, 7, m)
+			})
+			t.Run("cost-generated", func(t *testing.T) {
+				m := lddp.DepN | lddp.DepNE
+				req := &client.SolveRequest{
+					Rows: 23, Cols: 19, Mask: m.String(),
+					Workload: client.WorkloadSpec{Kind: client.KindCost, Seed: 11},
+				}
+				checkDifferential(t, c, req, 11, m)
+			})
+			t.Run("align", func(t *testing.T) {
+				req := &client.SolveRequest{
+					Rows: 40, Cols: 40,
+					Workload: client.WorkloadSpec{Kind: client.KindAlign, Seed: 3},
+				}
+				checkDifferential(t, c, req, 3, server.AlignMask)
+			})
+		})
+	}
+}
+
+// TestE2ECacheReplayDifferential: a cached replay must be
+// indistinguishable from the cold solve — same digest, byte-identical
+// cells — under every codec pairing of cold and warm request.
+func TestE2ECacheReplayDifferential(t *testing.T) {
+	_, ts, _ := newTestService(t, server.Config{Workers: 4, Chunk: 8})
+	codecs := e2eCodecs(t, ts)
+	m := lddp.DepW | lddp.DepNW | lddp.DepNE
+	seed := int64(99)
+	var cold *client.SolveResponse
+	for i, codec := range codecs {
 		req := &client.SolveRequest{
-			Rows: 19, Cols: 23, Mask: m.String(),
-			Workload: client.WorkloadSpec{Kind: client.KindCost, Cells: cells},
+			Rows: 31, Cols: 37, Mask: m.String(), ReturnCells: true,
+			Workload: client.WorkloadSpec{Kind: client.KindMix, Seed: seed},
+			Chunk:    8,
 		}
-		checkDifferential(t, c, req, 7, m)
-	})
-	t.Run("cost-generated", func(t *testing.T) {
-		m := lddp.DepN | lddp.DepNE
-		req := &client.SolveRequest{
-			Rows: 23, Cols: 19, Mask: m.String(),
-			Workload: client.WorkloadSpec{Kind: client.KindCost, Seed: 11},
+		resp, err := codec.c.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s solve: %v", codec.name, err)
 		}
-		checkDifferential(t, c, req, 11, m)
-	})
-	t.Run("align", func(t *testing.T) {
-		req := &client.SolveRequest{
-			Rows: 40, Cols: 40,
-			Workload: client.WorkloadSpec{Kind: client.KindAlign, Seed: 3},
+		if i == 0 {
+			if resp.Cached {
+				t.Fatalf("first solve claims to be cached")
+			}
+			cold = resp
+			continue
 		}
-		checkDifferential(t, c, req, 3, server.AlignMask)
-	})
+		if !resp.Cached {
+			t.Errorf("%s replay not served from cache", codec.name)
+		}
+		if resp.Digest != cold.Digest || resp.ID != cold.ID {
+			t.Errorf("%s replay: digest/ID %s/%d, want %s/%d", codec.name, resp.Digest, resp.ID, cold.Digest, cold.ID)
+		}
+		for r := range cold.Cells {
+			for j := range cold.Cells[r] {
+				if cold.Cells[r][j] != resp.Cells[r][j] {
+					t.Fatalf("%s replay cell (%d,%d) = %d, want %d", codec.name, r, j, resp.Cells[r][j], cold.Cells[r][j])
+				}
+			}
+		}
+	}
 }

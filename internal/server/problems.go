@@ -7,10 +7,9 @@
 package server
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 
+	"repro/internal/wire"
 	"repro/internal/workload"
 	"repro/lddp"
 	"repro/lddp/client"
@@ -236,17 +235,17 @@ func BuildProblem(req *client.SolveRequest) (*lddp.Problem[int64], error) {
 	}
 }
 
-// DigestGrid computes the FNV-1a 64-bit digest of a grid's dimensions and
-// row-major cell values, rendered as hex: a compact equality witness for
-// tables too large to return over the wire.
+// DigestCells computes the FNV-1a 64-bit word digest of a table's
+// dimensions and row-major cell values, rendered as hex: a compact
+// equality witness for tables too large to return over the wire. The
+// fold is word-wise (each cell is one 64-bit FNV step, repro/internal/
+// wire.CellsDigest) rather than byte-wise — digesting a multi-megabyte
+// table used to dominate the wire path's cost over direct submission.
+func DigestCells(rows, cols int, cells []int64) string {
+	return fmt.Sprintf("%016x", wire.CellsDigest(rows, cols, cells))
+}
+
+// DigestGrid is DigestCells over a result grid.
 func DigestGrid(g *lddp.Grid[int64]) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(g.Rows())<<32|uint64(g.Cols()))
-	h.Write(buf[:])
-	for _, v := range g.RowMajorData() {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
+	return DigestCells(g.Rows(), g.Cols(), flatCells(g))
 }

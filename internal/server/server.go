@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -40,6 +41,19 @@ type Config struct {
 	// <= 0 selects one second.
 	RetryAfter time.Duration
 
+	// CacheBytes bounds the content-addressed result cache: completed
+	// solves of declarative workloads are kept (LRU, size-aware) and
+	// repeated requests answer without touching the scheduler. 0 selects
+	// DefaultCacheBytes; negative disables the cache entirely.
+	// Cache-Control: no-cache on a request bypasses the lookup,
+	// no-store additionally skips the insert.
+	CacheBytes int64
+
+	// ErrorLog receives handler-level write failures (an encode error on
+	// an already-started response can only be logged and aborted). Nil
+	// selects log.Default().
+	ErrorLog *log.Logger
+
 	// TraceDir, when non-empty, records a runtime trace of every solve
 	// and writes it as <TraceDir>/solve-<id>.json (Chrome/Perfetto
 	// trace-event JSON, the lddptrace input format).
@@ -67,8 +81,14 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
 	if c.Metrics == nil {
 		c.Metrics = &lddp.Metrics{}
+	}
+	if c.ErrorLog == nil {
+		c.ErrorLog = log.Default()
 	}
 	return c
 }
@@ -80,10 +100,37 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	sched *lddp.Scheduler
+	cache *resultCache // nil when disabled
 
-	inflight chan struct{} // bounded in-flight limiter tokens
-	active   atomic.Int64  // solve requests currently inside the handler
-	draining atomic.Bool
+	inflight  chan struct{} // bounded in-flight limiter tokens
+	active    atomic.Int64  // solve requests currently inside the handler
+	draining  atomic.Bool
+	wireStats wireStats
+}
+
+// wireStats counts request/response codec traffic for the metrics
+// snapshot's Wire section.
+type wireStats struct {
+	jsonRequests    atomic.Int64
+	binaryRequests  atomic.Int64
+	jsonResponses   atomic.Int64
+	binaryResponses atomic.Int64
+	binaryRejects   atomic.Int64
+}
+
+func (ws *wireStats) snapshot() lddp.WireSnapshot {
+	return lddp.WireSnapshot{
+		JSONRequests:    ws.jsonRequests.Load(),
+		BinaryRequests:  ws.binaryRequests.Load(),
+		JSONResponses:   ws.jsonResponses.Load(),
+		BinaryResponses: ws.binaryResponses.Load(),
+		BinaryRejects:   ws.binaryRejects.Load(),
+	}
+}
+
+// logf reports a handler-level failure on the configured error log.
+func (s *Server) logf(format string, args ...any) {
+	s.cfg.ErrorLog.Printf("lddpd: "+format, args...)
 }
 
 // New builds a Server and starts its scheduler.
@@ -105,9 +152,17 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:      cfg,
 		sched:    s,
+		cache:    newResultCache(cfg.CacheBytes),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 	}, nil
 }
+
+// CacheStats returns the result cache's counters (all-zero when the
+// cache is disabled).
+func (s *Server) CacheStats() lddp.CacheSnapshot { return s.cache.stats() }
+
+// WireStats returns the codec traffic counters.
+func (s *Server) WireStats() lddp.WireSnapshot { return s.wireStats.snapshot() }
 
 // Config returns the resolved configuration.
 func (s *Server) Config() Config { return s.cfg }
@@ -178,15 +233,23 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// handleMetrics serves the metrics snapshot, compact (a scrape endpoint
+// is machine-read; pretty-printing every scrape re-buys the indent cost
+// for nothing — pipe through jq to eyeball it) and extended at scrape
+// time with the cache and codec counters that live server-side.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	doc, err := json.MarshalIndent(s.cfg.Metrics.Snapshot(), "", "  ")
+	snap := s.cfg.Metrics.Snapshot()
+	snap.Cache = s.cache.stats()
+	snap.Wire = s.wireStats.snapshot()
+	doc, err := json.Marshal(snap)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Write(doc)
-	w.Write([]byte("\n"))
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(doc, '\n')); err != nil {
+		s.logf("writing /metrics: %v", err)
+	}
 }
 
 // writeError renders one ErrorBody with the mapped HTTP status; 429 and
@@ -204,13 +267,17 @@ func (s *Server) writeError(w http.ResponseWriter, code int, status string, id i
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(body)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		// The status line is out; a failed body write means the client is
+		// gone. Log and abort — writing more would interleave garbage.
+		s.logf("writing %d error body: %v", code, err)
+	}
 }
 
 // handleSolve runs one POST /v1/solve request end to end: limiter,
-// decode, validate, build, submit with the request context (plus the
-// optional deadline), and map the scheduler's outcome trichotomy onto
-// the wire:
+// codec negotiation, decode, validate, build, result-cache lookup,
+// submit with the request context (plus the optional deadline), and map
+// the scheduler's outcome trichotomy onto the wire:
 //
 //	done                          -> 200 SolveResponse
 //	*Rejected (queue full)        -> 429 + Retry-After
@@ -244,13 +311,27 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		<-s.inflight
 	}()
 
+	neg := negotiate(r)
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	req, err := ParseSolveRequest(r.Body)
+	var req *client.SolveRequest
+	var err error
+	releaseInline := func() {}
+	if neg.binaryRequest {
+		s.wireStats.binaryRequests.Add(1)
+		req, releaseInline, err = ParseBinaryRequest(r.Body, s.cfg.MaxInlineCells)
+		if err != nil {
+			s.wireStats.binaryRejects.Add(1)
+		}
+	} else {
+		s.wireStats.jsonRequests.Add(1)
+		req, err = ParseSolveRequest(r.Body)
+	}
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "invalid", 0, err.Error())
 		return
 	}
 	if err := s.ValidateRequest(req); err != nil {
+		releaseInline()
 		code := http.StatusBadRequest
 		if int64(req.Rows)*int64(req.Cols) > s.cfg.MaxCells && req.Rows > 0 && req.Cols > 0 {
 			code = http.StatusRequestEntityTooLarge
@@ -260,8 +341,35 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	problem, err := BuildProblem(req)
 	if err != nil {
+		releaseInline()
 		s.writeError(w, http.StatusBadRequest, "invalid", 0, err.Error())
 		return
+	}
+	includeCells := req.ReturnCells && int64(problem.Rows)*int64(problem.Cols) <= int64(s.cfg.MaxResponseCells)
+
+	// Result-cache lookup: workloads are declarative, so the key tuple
+	// identifies the result exactly; a hit answers without touching the
+	// scheduler.
+	start := time.Now()
+	key := keyForRequest(req, problem.Deps)
+	if s.cache != nil {
+		if neg.noCache {
+			s.cache.bypass()
+			w.Header().Set(CacheHeader, "bypass")
+		} else if e := s.cache.get(key); e != nil {
+			releaseInline()
+			w.Header().Set(CacheHeader, "hit")
+			resp := &client.SolveResponse{
+				ID: e.id, Status: "done", Cached: true,
+				Rows: problem.Rows, Cols: problem.Cols,
+				Mask: e.mask, Pattern: e.pattern, Digest: e.digest,
+				ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+			}
+			s.writeSolveResponse(w, neg, resp, e.cells, includeCells)
+			return
+		} else {
+			w.Header().Set(CacheHeader, "miss")
+		}
 	}
 
 	ctx := r.Context()
@@ -283,7 +391,6 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, lddp.WithTracer(tracer))
 	}
 
-	start := time.Now()
 	sub, err := lddp.Submit(ctx, s.sched, problem, opts...)
 	if err != nil {
 		s.writeSubmitError(w, r, err)
@@ -295,35 +402,52 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeTraceFile(id, tracer)
 	}
 	if err != nil {
+		// No releaseInline here: on a cancellation the scheduler's
+		// workers may still be quiescing against the problem's inline
+		// cells, so the buffer is left to the garbage collector.
 		s.writeOutcomeError(w, r, id, err)
 		return
 	}
+	flat := flatCells(grid)
+	digest := DigestCells(problem.Rows, problem.Cols, flat)
+	releaseInline()
 	elapsed := time.Since(start)
 
-	resp := client.SolveResponse{
+	resp := &client.SolveResponse{
 		ID:        id,
 		Status:    "done",
 		Rows:      problem.Rows,
 		Cols:      problem.Cols,
 		Mask:      problem.Deps.String(),
 		Pattern:   lddp.Classify(problem.Deps).String(),
-		Digest:    DigestGrid(grid),
+		Digest:    digest,
 		ElapsedMS: float64(elapsed.Nanoseconds()) / 1e6,
 	}
-	if req.ReturnCells && int64(problem.Rows)*int64(problem.Cols) <= int64(s.cfg.MaxResponseCells) {
-		cells := make([][]int64, problem.Rows)
-		for i := range cells {
-			row := make([]int64, problem.Cols)
-			for j := range row {
-				row[j] = grid.At(i, j)
-			}
-			cells[i] = row
-		}
-		resp.Cells = cells
+	if s.cache != nil && !neg.noStore {
+		// The entry takes ownership of the grid's backing slice: result
+		// grids are immutable after Wait, so no copy is needed.
+		s.cache.put(&cacheEntry{
+			key: key, id: id, cells: flat,
+			digest: digest, pattern: resp.Pattern, mask: resp.Mask,
+		})
 	}
-	w.Header().Set(client.SolveIDHeader, strconv.FormatInt(id, 10))
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	s.writeSolveResponse(w, neg, resp, flat, includeCells)
+}
+
+// flatCells returns the grid's row-major cells, borrowing the backing
+// slice when the layout allows (the scheduler path always does) and
+// copying otherwise.
+func flatCells(g *lddp.Grid[int64]) []int64 {
+	if flat := g.RowMajorData(); flat != nil {
+		return flat
+	}
+	flat := make([]int64, 0, g.Rows()*g.Cols())
+	for i := 0; i < g.Rows(); i++ {
+		for j := 0; j < g.Cols(); j++ {
+			flat = append(flat, g.At(i, j))
+		}
+	}
+	return flat
 }
 
 // writeSubmitError maps a synchronous Submit refusal onto the wire.

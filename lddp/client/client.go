@@ -82,9 +82,11 @@ func (e *APIError) retryable() bool {
 // Client talks to one lddpd server. It is safe for concurrent use; the
 // zero value is not usable — construct with New.
 type Client struct {
-	base   string
-	hc     *http.Client
-	policy RetryPolicy
+	base         string
+	hc           *http.Client
+	policy       RetryPolicy
+	codec        Codec
+	cacheControl string
 
 	ownTransport *http.Transport // closed by Close when the client made it
 
@@ -134,6 +136,10 @@ func New(base string, opts ...Option) (*Client, error) {
 	c.policy = c.policy.withDefaults()
 	if c.hc == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
+		// The client talks to exactly one host; the transport default of 2
+		// idle connections per host makes every concurrent batch beyond 2
+		// redial, which dominates small-solve latency and allocations.
+		tr.MaxIdleConnsPerHost = tr.MaxIdleConns
 		c.ownTransport = tr
 		c.hc = &http.Client{Transport: tr}
 	}
@@ -173,14 +179,24 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // RetryPolicy, honoring the server's Retry-After over its own backoff;
 // when the budget is exhausted the last typed error is returned. All
 // other non-2xx responses return a *APIError immediately.
+//
+// The request travels under the client's codec (WithCodec); responses
+// are decoded by their Content-Type, so a JSON answer from a
+// binary-negotiating exchange still decodes. A binary response frame in
+// a version this client does not speak fails with ErrWireVersion.
 func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
 	if req == nil {
 		return nil, fmt.Errorf("lddp client: nil request")
 	}
-	body, err := json.Marshal(req)
+	buf, err := c.encodeRequest(req)
 	if err != nil {
-		return nil, fmt.Errorf("lddp client: encoding request: %w", err)
+		return nil, err
 	}
+	// The encoded body lives in a pooled buffer for the whole retry
+	// loop (every attempt re-reads the same bytes) and goes back to the
+	// pool when no attempt can touch it anymore.
+	defer putEncodeBuf(buf)
+	body := buf.Bytes()
 	var last error
 	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -203,6 +219,11 @@ func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		if errors.As(err, &apiErr) && !apiErr.retryable() {
 			return nil, err
 		}
+		if errors.Is(err, ErrWireVersion) {
+			// A version mismatch is deterministic; retrying resends the
+			// same frame at the same server.
+			return nil, err
+		}
 		if ctx.Err() != nil {
 			return nil, last
 		}
@@ -216,7 +237,11 @@ func (c *Client) trySolve(ctx context.Context, body []byte) (*SolveResponse, err
 	if err != nil {
 		return nil, err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Content-Type", c.contentType())
+	hreq.Header.Set("Accept", c.accept())
+	if c.cacheControl != "" {
+		hreq.Header.Set("Cache-Control", c.cacheControl)
+	}
 	hresp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("lddp client: %w", err)
@@ -224,6 +249,9 @@ func (c *Client) trySolve(ctx context.Context, body []byte) (*SolveResponse, err
 	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		return nil, decodeError(hresp)
+	}
+	if responseIsBinary(hresp) {
+		return decodeBinaryResponse(hresp)
 	}
 	var out SolveResponse
 	if err := json.NewDecoder(io.LimitReader(hresp.Body, 64<<20)).Decode(&out); err != nil {

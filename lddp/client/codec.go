@@ -1,0 +1,165 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Codec selects the solve-request wire encoding.
+type Codec int
+
+const (
+	// CodecJSON (the default) speaks the HTTP/JSON protocol of DESIGN.md
+	// §10: debuggable with curl, accepted by every lddpd.
+	CodecJSON Codec = iota
+	// CodecBinary speaks the length-prefixed binary frame format of
+	// DESIGN.md §11: requests and responses carry cell payloads as raw
+	// little-endian words with an FNV-1a digest trailer. The client
+	// still advertises JSON as an acceptable fallback, so a server that
+	// answers JSON (error bodies always are) is decoded transparently —
+	// but the request body itself is a frame, which only a
+	// binary-capable lddpd understands.
+	CodecBinary
+)
+
+// ErrWireVersion: the server answered with a binary frame version this
+// client does not speak. Not retryable — the same frame would come back.
+var ErrWireVersion = errors.New("lddp client: unsupported binary wire version from server")
+
+// WithCodec selects the request/response encoding (default CodecJSON).
+func WithCodec(c Codec) Option {
+	return func(cl *Client) { cl.codec = c }
+}
+
+// WithCacheControl attaches a Cache-Control header to every solve
+// request: "no-cache" skips the server's result-cache lookup (the solve
+// still runs and is stored), "no-store" skips both — what a load driver
+// or benchmark wants, since a cache hit would measure the lookup, not
+// the solve.
+func WithCacheControl(v string) Option {
+	return func(cl *Client) { cl.cacheControl = v }
+}
+
+// encodeBufPool holds request-encode scratch: one buffer per in-flight
+// Solve, returned when the call (including retries, which re-read the
+// same bytes) finishes.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeRequest renders req under the client's codec into a pooled
+// buffer; the caller must hand the buffer back via putEncodeBuf once no
+// retry can re-read it.
+func (c *Client) encodeRequest(req *SolveRequest) (*bytes.Buffer, error) {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if c.codec != CodecBinary {
+		if err := json.NewEncoder(buf).Encode(req); err != nil {
+			encodeBufPool.Put(buf)
+			return nil, fmt.Errorf("lddp client: encoding request: %w", err)
+		}
+		return buf, nil
+	}
+	// Binary frame: the header is the request document minus the inline
+	// cells, which travel flattened in the cell section.
+	hdr := *req
+	hdr.Workload.Cells = nil
+	enc := wire.NewEncoder(buf)
+	err := enc.Header(&hdr)
+	if err == nil && len(req.Workload.Cells) > 0 {
+		n := 0
+		for _, row := range req.Workload.Cells {
+			n += len(row)
+		}
+		flat := wire.GetCells(n)
+		for _, row := range req.Workload.Cells {
+			flat = append(flat, row...)
+		}
+		err = enc.Cells(flat)
+		wire.PutCells(flat)
+	}
+	if cerr := enc.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		encodeBufPool.Put(buf)
+		return nil, fmt.Errorf("lddp client: encoding request frame: %w", err)
+	}
+	return buf, nil
+}
+
+func putEncodeBuf(buf *bytes.Buffer) {
+	// Drop outsized buffers instead of pinning megabytes in the pool.
+	if buf.Cap() <= 1<<20 {
+		encodeBufPool.Put(buf)
+	}
+}
+
+// contentType returns the request Content-Type for the codec.
+func (c *Client) contentType() string {
+	if c.codec == CodecBinary {
+		return wire.MediaType
+	}
+	return "application/json"
+}
+
+// accept returns the Accept header: a binary client offers the frame
+// format first but keeps JSON acceptable, so servers predating the
+// binary codec still interoperate on responses.
+func (c *Client) accept() string {
+	if c.codec == CodecBinary {
+		return wire.MediaType + ", application/json"
+	}
+	return "application/json"
+}
+
+// responseIsBinary reports whether a 200 response body is a wire frame,
+// by Content-Type media type (parameters and case ignored).
+func responseIsBinary(hresp *http.Response) bool {
+	ct := hresp.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), wire.MediaType)
+}
+
+// decodeBinaryResponse decodes a 200 wire-frame response body.
+func decodeBinaryResponse(hresp *http.Response) (*SolveResponse, error) {
+	d := wire.NewDecoder(hresp.Body)
+	defer d.Release()
+	hdr, err := d.Header()
+	if err != nil {
+		if errors.Is(err, wire.ErrVersion) {
+			return nil, fmt.Errorf("%w: %v", ErrWireVersion, err)
+		}
+		return nil, fmt.Errorf("lddp client: decoding response frame: %w", err)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(hdr, &out); err != nil {
+		return nil, fmt.Errorf("lddp client: decoding response header: %w", err)
+	}
+	flat, err := d.Cells(nil)
+	if err != nil {
+		return nil, fmt.Errorf("lddp client: decoding response cells: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return nil, fmt.Errorf("lddp client: verifying response frame: %w", err)
+	}
+	if len(flat) > 0 {
+		if out.Rows <= 0 || out.Cols <= 0 || out.Rows*out.Cols != len(flat) {
+			return nil, fmt.Errorf("lddp client: response frame carries %d cells for a %dx%d table", len(flat), out.Rows, out.Cols)
+		}
+		// One flat backing plus row headers: two allocations for the
+		// whole table, owned by the caller.
+		out.Cells = make([][]int64, out.Rows)
+		for i := range out.Cells {
+			out.Cells[i] = flat[i*out.Cols : (i+1)*out.Cols]
+		}
+	}
+	return &out, nil
+}

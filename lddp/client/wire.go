@@ -80,8 +80,13 @@ type SolveResponse struct {
 	// Cells is the full table, present only when requested and within
 	// the server's response-cell cap.
 	Cells [][]int64 `json:"cells,omitempty"`
+	// Cached reports that the response was served from the server's
+	// result cache (also surfaced as the X-Lddp-Cache header); ID then
+	// names the solve that originally produced the table.
+	Cached bool `json:"cached,omitempty"`
 	// ElapsedMS is the server-side wall time of the solve (submit to
-	// completion, including queue wait).
+	// completion, including queue wait). For cached responses it is the
+	// lookup time.
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 

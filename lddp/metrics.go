@@ -58,6 +58,48 @@ type MetricsSnapshot struct {
 	// Sched aggregates shared-scheduler lifecycle events when the Metrics
 	// is attached via WithSchedulerCollector; zero otherwise.
 	Sched SchedSnapshot `json:"sched,omitzero"`
+
+	// Cache reports the lddpd result cache when the snapshot comes from
+	// the server's /metrics endpoint; zero elsewhere (the cache lives in
+	// internal/server and fills this section at scrape time).
+	Cache CacheSnapshot `json:"cache,omitzero"`
+
+	// Wire reports the lddpd codec counters (JSON vs binary frame
+	// traffic) when the snapshot comes from /metrics; zero elsewhere.
+	Wire WireSnapshot `json:"wire,omitzero"`
+}
+
+// CacheSnapshot is the lddpd result-cache section of a server metrics
+// snapshot: a bounded, size-aware LRU keyed on the declarative workload
+// tuple (DESIGN.md §11).
+type CacheSnapshot struct {
+	// Hits, Misses and Bypasses count lookups: served from cache, not
+	// present, and skipped because the request carried
+	// Cache-Control: no-cache.
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Bypasses int64 `json:"bypasses"`
+	// Stores counts insertions; Evictions entries dropped under size
+	// pressure.
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+	// Entries and Bytes are the current population; CapacityBytes the
+	// configured bound.
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+}
+
+// WireSnapshot counts lddpd requests and responses per codec, plus
+// binary frames the decoder refused.
+type WireSnapshot struct {
+	JSONRequests    int64 `json:"json_requests"`
+	BinaryRequests  int64 `json:"binary_requests"`
+	JSONResponses   int64 `json:"json_responses"`
+	BinaryResponses int64 `json:"binary_responses"`
+	// BinaryRejects counts binary request bodies the frame decoder
+	// refused (truncated, wrong version, digest mismatch).
+	BinaryRejects int64 `json:"binary_rejects"`
 }
 
 // SchedSnapshot aggregates the SchedEvent stream of a shared scheduler.
