@@ -89,8 +89,10 @@ bench-server:
 # allocation budgets asserted (exit 1 on regression). Budgets: the cold
 # binary batch (8 HTTP round trips; ~180 allocs each, nearly all
 # net/http) and the pure frame codec (pooled; single digits).
+# 30 iterations, not 3: the first op pays the cold sync.Pool fills, so
+# short runs over-report allocs/op by hundreds and flake the gate.
 bench-wire:
-	$(GO) test -run '^$$' -bench=ServerSolve -benchmem -cpu 4 -benchtime 3x ./internal/server/ | tee bench_server_output.txt
+	$(GO) test -run '^$$' -bench=ServerSolve -benchmem -cpu 4 -benchtime 30x ./internal/server/ | tee bench_server_output.txt
 	$(GO) test -run '^$$' -bench=EncodeDecode -benchmem -benchtime 100x ./internal/wire/ | tee -a bench_server_output.txt
 	$(GO) run ./cmd/benchjson \
 	  -desc "Server-mode reference run: wire (json/binary/cached) vs direct batch throughput, plus the frame codec. Regenerate with \`make bench-wire\`." \

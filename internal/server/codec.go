@@ -148,10 +148,15 @@ func (s *Server) writeSolveResponse(w http.ResponseWriter, neg negotiation, resp
 		if err == nil && includeCells {
 			err = enc.Cells(flat)
 		}
-		if cerr := enc.Close(); err == nil {
-			err = cerr
-		}
 		if err != nil {
+			// A failed or half-written frame must not be capped with an
+			// end marker + trailer — the client would read the stray bytes
+			// as a bogus frame instead of a truncated one.
+			enc.Abort()
+			s.logf("solve %d: writing binary response: %v", resp.ID, err)
+			return
+		}
+		if err := enc.Close(); err != nil {
 			s.logf("solve %d: writing binary response: %v", resp.ID, err)
 		}
 		return

@@ -227,6 +227,21 @@ func (e *Encoder) Close() error {
 	return err
 }
 
+// Abort releases the encoder's scratch without writing the end marker
+// or digest trailer — for callers whose frame failed mid-write (a
+// header marshal error, a broken connection) and must not emit more
+// bytes into the stream. Safe to call once; Close after Abort errors.
+func (e *Encoder) Abort() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.scratch != nil {
+		scratchPool.Put(e.scratch)
+		e.scratch = nil
+	}
+}
+
 func (e *Encoder) writeAll(p []byte) error {
 	if _, err := e.w.Write(p); err != nil {
 		return fmt.Errorf("wire: writing frame: %w", err)
@@ -353,7 +368,11 @@ func (d *Decoder) Cells(dst []int64) ([]int64, error) {
 		if n == 0 {
 			return dst, nil
 		}
-		if total+int64(n) < 0 || total+int64(n) > d.maxCells {
+		// The count is untrusted: compare in unsigned space first, so a
+		// chunk count near 2^64 cannot wrap a signed sum past the cap.
+		// After the first two checks, n fits in int64 and total <= maxCells
+		// holds, so the subtraction cannot overflow.
+		if d.maxCells < 0 || n > uint64(d.maxCells) || int64(n) > d.maxCells-total {
 			return dst, fmt.Errorf("%w: cell payload exceeds the %d-cell cap", ErrFrame, d.maxCells)
 		}
 		total += int64(n)

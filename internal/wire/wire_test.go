@@ -193,6 +193,60 @@ func TestHugeDeclaredChunk(t *testing.T) {
 	}
 }
 
+// TestChunkCountOverflowBypass crafts the signed-wrap attack: after one
+// legitimate cell (total=1), a chunk count of 2^64-1 converts to
+// int64(-1), so a signed total+int64(n) sums to 0 and would slip under
+// the cap — the decoder must compare in unsigned space and refuse.
+func TestChunkCountOverflowBypass(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(Version)
+	buf.WriteByte(2) // header length
+	buf.WriteString("{}")
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], 1)]) // one honest chunk...
+	buf.Write(make([]byte, 8))                    // ...of one cell
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], ^uint64(0))])
+	// Enough payload for several full scratch-sized reads: a decoder that
+	// trusts the wrapped count consumes all of it as cells.
+	buf.Write(make([]byte, 128<<10))
+	d := NewDecoder(&buf)
+	defer d.Release()
+	d.SetMaxCells(16)
+	if _, err := d.Header(); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := d.Cells(nil)
+	if !errors.Is(err, ErrFrame) {
+		t.Fatalf("got %v, want ErrFrame for wrapping chunk count", err)
+	}
+	if len(cells) > 16 {
+		t.Fatalf("decoder appended %d cells past the 16-cell cap", len(cells))
+	}
+}
+
+// TestEncoderAbort pins the failed-header contract: a frame whose
+// header never made it out must not be capped with an end marker and
+// digest trailer — the receiver should see nothing, not a stray 0x00
+// it would misread as a bogus version byte.
+func TestEncoderAbort(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Header(make(chan int)); err == nil {
+		t.Fatal("Header(chan) marshalled")
+	}
+	enc.Abort()
+	if buf.Len() != 0 {
+		t.Fatalf("aborted encoder wrote %d bytes: %x", buf.Len(), buf.Bytes())
+	}
+	if err := enc.Close(); err == nil {
+		t.Fatal("Close after Abort succeeded")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("Close after Abort wrote %d bytes", buf.Len())
+	}
+	enc.Abort() // idempotent
+}
+
 func TestVarintJunk(t *testing.T) {
 	// 10 continuation bytes: an unterminated/overflowing varint where the
 	// header length belongs.

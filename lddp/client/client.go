@@ -1,7 +1,6 @@
 package client
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -193,10 +192,12 @@ func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		return nil, err
 	}
 	// The encoded body lives in a pooled buffer for the whole retry
-	// loop (every attempt re-reads the same bytes) and goes back to the
-	// pool when no attempt can touch it anymore.
-	defer putEncodeBuf(buf)
-	body := buf.Bytes()
+	// loop (every attempt re-reads the same bytes). The buffer returns
+	// to the pool only after the loop ends AND the transport has closed
+	// every body reader handed to it — an abandoned attempt's write
+	// loop can outlive Do on context cancellation (see pooledBody).
+	body := newPooledBody(buf)
+	defer body.release()
 	var last error
 	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -232,11 +233,18 @@ func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 }
 
 // trySolve performs one POST /v1/solve round trip.
-func (c *Client) trySolve(ctx context.Context, body []byte) (*SolveResponse, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/solve", bytes.NewReader(body))
+func (c *Client) trySolve(ctx context.Context, body *pooledBody) (*SolveResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/solve", nil)
 	if err != nil {
 		return nil, err
 	}
+	// Hand the transport a refcounted reader (it closes every request
+	// body, even on error/cancel paths) so the pooled bytes stay alive
+	// until the write loop is truly done with them. ContentLength and
+	// GetBody match what NewRequest derives for a *bytes.Reader.
+	hreq.Body = body.reader()
+	hreq.ContentLength = int64(body.len())
+	hreq.GetBody = func() (io.ReadCloser, error) { return body.reader(), nil }
 	hreq.Header.Set("Content-Type", c.contentType())
 	hreq.Header.Set("Accept", c.accept())
 	if c.cacheControl != "" {

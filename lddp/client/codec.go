@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -83,10 +85,12 @@ func (c *Client) encodeRequest(req *SolveRequest) (*bytes.Buffer, error) {
 		err = enc.Cells(flat)
 		wire.PutCells(flat)
 	}
-	if cerr := enc.Close(); err == nil {
-		err = cerr
-	}
 	if err != nil {
+		enc.Abort()
+		encodeBufPool.Put(buf)
+		return nil, fmt.Errorf("lddp client: encoding request frame: %w", err)
+	}
+	if err := enc.Close(); err != nil {
 		encodeBufPool.Put(buf)
 		return nil, fmt.Errorf("lddp client: encoding request frame: %w", err)
 	}
@@ -98,6 +102,59 @@ func putEncodeBuf(buf *bytes.Buffer) {
 	if buf.Cap() <= 1<<20 {
 		encodeBufPool.Put(buf)
 	}
+}
+
+// pooledBody hands out request-body readers over one pooled encode
+// buffer. On context cancellation http.Client.Do can return while the
+// transport's write loop is still reading an attempt's body, so the
+// buffer is refcounted — one reference held by Solve for the retry
+// loop, plus one per reader handed to the transport (which closes
+// every request body it is given, even on error paths) — and only the
+// final release returns it to the pool. Without this, a reused buffer
+// could be overwritten under an in-flight write.
+type pooledBody struct {
+	buf  *bytes.Buffer
+	data []byte
+	refs atomic.Int32
+}
+
+func newPooledBody(buf *bytes.Buffer) *pooledBody {
+	b := &pooledBody{buf: buf, data: buf.Bytes()}
+	b.refs.Store(1) // Solve's own reference, dropped by release
+	return b
+}
+
+func (b *pooledBody) len() int { return len(b.data) }
+
+// release drops one reference; the last one returns the buffer to the
+// pool.
+func (b *pooledBody) release() {
+	if b.refs.Add(-1) == 0 {
+		putEncodeBuf(b.buf)
+	}
+}
+
+// reader hands out a fresh ReadCloser over the body, holding one
+// reference until Close (idempotent — the transport and Client.Do can
+// both close a body). One allocation: the Reader is embedded by value.
+func (b *pooledBody) reader() io.ReadCloser {
+	b.refs.Add(1)
+	r := &pooledBodyReader{body: b}
+	r.Reset(b.data)
+	return r
+}
+
+type pooledBodyReader struct {
+	bytes.Reader
+	body   *pooledBody
+	closed atomic.Bool
+}
+
+func (r *pooledBodyReader) Close() error {
+	if r.closed.CompareAndSwap(false, true) {
+		r.body.release()
+	}
+	return nil
 }
 
 // contentType returns the request Content-Type for the codec.
@@ -128,9 +185,12 @@ func responseIsBinary(hresp *http.Response) bool {
 	return strings.EqualFold(strings.TrimSpace(ct), wire.MediaType)
 }
 
-// decodeBinaryResponse decodes a 200 wire-frame response body.
+// decodeBinaryResponse decodes a 200 wire-frame response body. The
+// body is capped at the same 64MB as the JSON path — the decoder's own
+// header/cell caps bound each section, and the outer limit bounds total
+// client memory even against a server that streams garbage framing.
 func decodeBinaryResponse(hresp *http.Response) (*SolveResponse, error) {
-	d := wire.NewDecoder(hresp.Body)
+	d := wire.NewDecoder(io.LimitReader(hresp.Body, 64<<20))
 	defer d.Release()
 	hdr, err := d.Header()
 	if err != nil {

@@ -287,3 +287,68 @@ func TestEncodeRequestReusableAcrossRetries(t *testing.T) {
 		t.Errorf("body is not a wire frame: % x", bodies[0][:min(8, len(bodies[0]))])
 	}
 }
+
+// TestPooledBodyRefcount pins the encode-buffer lifecycle: the buffer
+// may only return to the pool once Solve's own reference AND every
+// reader handed to the transport are released — a reader can outlive
+// Do on context cancellation while the write loop drains.
+func TestPooledBodyRefcount(t *testing.T) {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString("frame bytes")
+	b := newPooledBody(buf)
+	r1 := b.reader()
+	r2 := b.reader() // e.g. a GetBody replay
+	if got := b.refs.Load(); got != 3 {
+		t.Fatalf("refs = %d after two readers, want 3", got)
+	}
+	var p1 bytes.Buffer
+	if _, err := p1.ReadFrom(r1); err != nil || p1.String() != "frame bytes" {
+		t.Fatalf("reader 1 read %q (%v)", p1.String(), err)
+	}
+	r1.Close()
+	r1.Close() // transport and Client.Do may both close; must not double-release
+	if got := b.refs.Load(); got != 2 {
+		t.Fatalf("refs = %d after closing reader 1, want 2", got)
+	}
+	b.release() // Solve returns while reader 2 is still in flight
+	if got := b.refs.Load(); got != 1 {
+		t.Fatalf("refs = %d after Solve's release, want 1: buffer must stay out of the pool", got)
+	}
+	var p2 bytes.Buffer
+	if _, err := p2.ReadFrom(r2); err != nil || p2.String() != "frame bytes" {
+		t.Fatalf("reader 2 read %q after Solve released (%v)", p2.String(), err)
+	}
+	r2.Close()
+	if got := b.refs.Load(); got != 0 {
+		t.Fatalf("refs = %d after final close, want 0", got)
+	}
+}
+
+// TestSolveBodyContentLength: handing the transport a custom ReadCloser
+// must not regress the request to chunked encoding — the server should
+// still see an exact Content-Length.
+func TestSolveBodyContentLength(t *testing.T) {
+	var gotLen int64
+	var gotBody int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotLen = r.ContentLength
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		gotBody = buf.Len()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(SolveResponse{ID: 1, Status: "done", Digest: "feed"})
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Solve(context.Background(), &SolveRequest{Rows: 4, Cols: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if gotLen <= 0 || int64(gotBody) != gotLen {
+		t.Errorf("server saw Content-Length %d for a %d-byte body", gotLen, gotBody)
+	}
+}
