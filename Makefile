@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench bench-server bench-wire bench-all experiments figures quick cover trace sched-smoke serve-smoke soak soak-server conformance e2e clean
+.PHONY: all build test vet check race bench bench-server bench-wire bench-all experiments figures quick cover trace sched-smoke serve-smoke fleet-smoke soak soak-server conformance e2e clean
 
 all: build vet test
 
@@ -78,6 +78,25 @@ serve-smoke:
 	  rm -f lddpd.bin; \
 	  exit $$rc
 
+# Fleet smoke, two layers. First the in-process recovery proof under the
+# race detector: three lddpd node stacks, one killed mid-solve, the
+# coordinator relocates its blocks and the assembled digest still matches
+# the sequential oracle. Then the real-process run: three lddpd binaries
+# on local ports with the driver band-sharding a batch across them over
+# the binary halo protocol, every fleet digest cross-checked against a
+# single-node solve (-verify is the driver default).
+fleet-smoke:
+	$(GO) test -race -run 'TestFleetKillNodeMidSolve|TestFleetSpreadsWork' -count=1 ./internal/fleet/
+	$(GO) build -o lddpd.bin ./cmd/lddpd
+	./lddpd.bin -addr 127.0.0.1:18081 -workers 2 & p1=$$!; \
+	  ./lddpd.bin -addr 127.0.0.1:18082 -workers 2 & p2=$$!; \
+	  ./lddpd.bin -addr 127.0.0.1:18083 -workers 2 & p3=$$!; \
+	  $(GO) run ./cmd/lddpserve -fleet http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083 -solves 4 -size 256; \
+	  rc=$$?; \
+	  kill -TERM $$p1 $$p2 $$p3; wait $$p1 $$p2 $$p3; \
+	  rm -f lddpd.bin; \
+	  exit $$rc
+
 # Server-mode throughput: the full network stack (codec + HTTP + handler +
 # scheduler) vs direct facade submission, archived as BENCH_server.json.
 bench-server:
@@ -96,7 +115,7 @@ bench-wire:
 	$(GO) test -run '^$$' -bench=EncodeDecode -benchmem -benchtime 100x ./internal/wire/ | tee -a bench_server_output.txt
 	$(GO) run ./cmd/benchjson \
 	  -desc "Server-mode reference run: wire (json/binary/cached) vs direct batch throughput, plus the frame codec. Regenerate with \`make bench-wire\`." \
-	  -assert 'wire-binary<=1600' -assert 'EncodeDecode512x512<=64' \
+	  -assert 'wire-binary<=1600' -assert 'EncodeDecode512x512<=64' -assert 'HaloEncodeDecode2048<=16' \
 	  < bench_server_output.txt > BENCH_server.json
 
 # Wire-boundary differential suite: all 15 masks x adversarial shapes

@@ -26,10 +26,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
+	"repro/lddp/client"
 )
 
 type options struct {
@@ -43,6 +46,9 @@ type options struct {
 	cacheBytes int64
 	drain      time.Duration
 	tracedir   string
+	peers      string
+	bands      int
+	phaseCols  int
 }
 
 func main() {
@@ -57,6 +63,9 @@ func main() {
 	flag.Int64Var(&opts.cacheBytes, "cache-bytes", 0, "result cache bound in bytes (0 = default 64 MiB, negative disables)")
 	flag.DurationVar(&opts.drain, "drain", 10*time.Second, "graceful drain bound on shutdown")
 	flag.StringVar(&opts.tracedir, "tracedir", "", "write a per-solve trace file into this directory")
+	flag.StringVar(&opts.peers, "peers", "", "comma-separated peer lddpd base URLs; when set, POST /v1/fleet/solve shards solves across them")
+	flag.IntVar(&opts.bands, "bands", 0, "fleet row bands (0 = one per peer; only with -peers)")
+	flag.IntVar(&opts.phaseCols, "phase-cols", 0, "fleet block phase width in columns (0 = default; only with -peers)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -95,7 +104,32 @@ func run(ctx context.Context, opts options, out io.Writer, addrCh chan<- string)
 		srv.Close()
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if opts.peers != "" {
+		// The fleet coordinator mounts beside the node mux rather than
+		// inside it: internal/server stays ignorant of the fleet layer.
+		var nodes []*client.Client
+		for _, u := range strings.Split(opts.peers, ",") {
+			c, err := client.New(strings.TrimSpace(u), client.WithCodec(client.CodecBinary))
+			if err != nil {
+				srv.Close()
+				return fmt.Errorf("-peers: %w", err)
+			}
+			defer c.Close()
+			nodes = append(nodes, c)
+		}
+		coord, err := fleet.New(fleet.Config{Nodes: nodes, Bands: opts.bands, PhaseCols: opts.phaseCols})
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/v1/fleet/solve", fleet.NewHandler(coord, nil))
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintf(out, "lddpd: fleet coordinator over %d peers\n", len(nodes))
+	}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(out, "lddpd: serving on %s (workers %d, inflight %d)\n",

@@ -14,6 +14,7 @@
 //	lddpserve -mix -solves 32 -timeout 50ms          # mixed sizes and masks, deadlines
 //	lddpserve -metrics out.json                      # dump the metrics snapshot
 //	lddpserve -url http://127.0.0.1:8080 -solves 16  # same batch against a lddpd server
+//	lddpserve -fleet http://n1:8080,http://n2:8080   # band-shard each solve across nodes
 //
 // Exit status is 0 when every submission ends in an expected state (done,
 // or canceled/rejected under -timeout), 1 otherwise.
@@ -28,9 +29,11 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
 	"repro/lddp"
 	"repro/lddp/client"
@@ -52,6 +55,11 @@ type options struct {
 	url     string
 	retries int
 	codec   string
+
+	fleet     string
+	bands     int
+	phaseCols int
+	verify    bool
 }
 
 func main() {
@@ -71,6 +79,10 @@ func main() {
 	flag.StringVar(&opts.url, "url", "", "drive a remote lddpd server at this base URL instead of an in-process scheduler")
 	flag.IntVar(&opts.retries, "retries", 8, "client retry attempts per solve in -url mode (covers server startup)")
 	flag.StringVar(&opts.codec, "codec", "json", "wire encoding in -url mode: json | binary")
+	flag.StringVar(&opts.fleet, "fleet", "", "comma-separated lddpd node URLs; shard each solve into row bands across them")
+	flag.IntVar(&opts.bands, "bands", 0, "row bands per fleet solve (0 = one per node; only with -fleet)")
+	flag.IntVar(&opts.phaseCols, "phase-cols", 0, "fleet block phase width in columns (0 = default; only with -fleet)")
+	flag.BoolVar(&opts.verify, "verify", true, "in -fleet mode, cross-check each fleet digest against a single-node solve")
 	flag.Parse()
 	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lddpserve:", err)
@@ -146,9 +158,18 @@ func run(opts options, out io.Writer) error {
 	if opts.url != "" && opts.mode != "sched" {
 		return fmt.Errorf("-url drives a remote scheduler; -mode %s is local-only", opts.mode)
 	}
+	if opts.fleet != "" && opts.url != "" {
+		return fmt.Errorf("-fleet and -url are mutually exclusive")
+	}
+	if opts.fleet != "" && opts.mode != "sched" {
+		return fmt.Errorf("-fleet drives remote nodes; -mode %s is local-only", opts.mode)
+	}
 	items, err := buildBatch(opts)
 	if err != nil {
 		return err
+	}
+	if opts.fleet != "" {
+		return runFleet(opts, items, out)
 	}
 	if opts.url != "" {
 		return runRemote(opts, items, out)
@@ -304,7 +325,7 @@ func runRemote(opts options, items []workItem, out io.Writer) error {
 				res.rejected++
 			default:
 				res.failed++
-				fmt.Fprintf(os.Stderr, "lddpserve: %s: unexpected error: %v\n", it.problem.Name, err)
+				fmt.Fprintf(os.Stderr, "lddpserve: %s: unexpected error: %s\n", it.problem.Name, remoteErrDetail(err))
 			}
 		}(it)
 	}
@@ -326,6 +347,113 @@ func runRemote(opts options, items []workItem, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %s (server sched: %d done, %d steals, peak active %d)\n",
 			opts.metrics, snap.Sched.Done, snap.Sched.Steals, snap.Sched.PeakActive)
+	}
+	if res.failed > 0 {
+		return fmt.Errorf("%d submissions failed unexpectedly", res.failed)
+	}
+	if opts.timeout == 0 && res.done != opts.solves {
+		return fmt.Errorf("without -timeout all %d submissions must complete; %d did", opts.solves, res.done)
+	}
+	return nil
+}
+
+// remoteErrDetail renders a remote failure for the per-request error
+// line. When the server assigned a solve ID before failing, the ID is
+// prepended so the failure can be matched against that node's logs and
+// trace files — the attribution handle for fleet debugging.
+func remoteErrDetail(err error) string {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.SolveID != 0 {
+		return fmt.Sprintf("solve %d: %v", apiErr.SolveID, err)
+	}
+	return err.Error()
+}
+
+// runFleet shards each submission into row bands across the -fleet node
+// list through the internal/fleet coordinator — the driver-side variant
+// of `lddpd -peers`. With -verify (the default) every fleet digest is
+// cross-checked against a single-node solve of the same request on the
+// first node, making this a differential smoke as well as a load driver.
+func runFleet(opts options, items []workItem, out io.Writer) error {
+	copts := []client.Option{
+		client.WithCodec(client.CodecBinary),
+		client.WithRetry(client.RetryPolicy{
+			MaxAttempts: opts.retries,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+		}),
+		client.WithCacheControl("no-store"),
+	}
+	var nodes []*client.Client
+	for _, u := range strings.Split(opts.fleet, ",") {
+		c, err := client.New(strings.TrimSpace(u), copts...)
+		if err != nil {
+			return fmt.Errorf("-fleet: %w", err)
+		}
+		defer c.Close()
+		nodes = append(nodes, c)
+	}
+	coord, err := fleet.New(fleet.Config{Nodes: nodes, Bands: opts.bands, PhaseCols: opts.phaseCols})
+	if err != nil {
+		return err
+	}
+	var (
+		res         outcome
+		relocations int
+		mismatches  int
+		mu          sync.Mutex
+		wg          sync.WaitGroup
+	)
+	start := time.Now()
+	for _, it := range items {
+		wg.Add(1)
+		go func(it workItem) {
+			defer wg.Done()
+			req := &client.SolveRequest{
+				Rows: it.rows, Cols: it.cols,
+				Mask:       it.mask.String(),
+				Workload:   client.WorkloadSpec{Kind: client.KindServe},
+				Chunk:      opts.chunk,
+				DeadlineMS: opts.timeout.Milliseconds(),
+			}
+			fres, err := coord.Solve(context.Background(), req)
+			var oracle string
+			if err == nil && opts.verify {
+				sres, serr := nodes[0].Solve(context.Background(), req)
+				if serr != nil {
+					err = fmt.Errorf("verify solve: %w", serr)
+				} else {
+					oracle = sres.Digest
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				res.done++
+				res.cells += it.cells
+				relocations += fres.Stats.Relocations
+				if opts.verify && fres.Digest != oracle {
+					mismatches++
+					fmt.Fprintf(os.Stderr, "lddpserve: %s: fleet digest %s != single-node digest %s\n",
+						it.problem.Name, fres.Digest, oracle)
+				}
+			case errors.Is(err, client.ErrTimeout):
+				res.canceled++
+			case errors.Is(err, client.ErrOverloaded), errors.Is(err, client.ErrUnavailable):
+				res.rejected++
+			default:
+				res.failed++
+				fmt.Fprintf(os.Stderr, "lddpserve: %s: unexpected error: %s\n", it.problem.Name, remoteErrDetail(err))
+			}
+		}(it)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	fmt.Fprintf(out, "fleet: %d solves over %d nodes, %d done, %d canceled, %d rejected, %d relocations, %.3gs, %.3g cells/s\n",
+		opts.solves, len(nodes), res.done, res.canceled, res.rejected, relocations, res.elapsed.Seconds(), res.throughput())
+	if mismatches > 0 {
+		return fmt.Errorf("%d fleet solves diverged from the single-node oracle", mismatches)
 	}
 	if res.failed > 0 {
 		return fmt.Errorf("%d submissions failed unexpectedly", res.failed)

@@ -1,0 +1,370 @@
+// Package fleet coordinates one DP solve across several lddpd nodes.
+// The table is cut into horizontal row bands, one per node; each band
+// is cut into column phases; and each (band, phase) block is shipped to
+// the band's node as a POST /v1/band/solve request carrying the halo
+// rows/columns its recurrence reads across block edges. Blocks of the
+// same band run in phase order on one node while neighbouring bands
+// pipeline one phase behind, the classic wavefront-of-blocks schedule.
+// When a node dies mid-solve the failed block is relocated to the next
+// node and the band stays there — the halos it needs are sliced from
+// the coordinator's assembled table, not from node-local state, so any
+// node can take over any block at any time. DESIGN.md §12 documents the
+// protocol.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+	"repro/lddp"
+	"repro/lddp/api"
+	"repro/lddp/client"
+)
+
+// Direction is a mask's block-phase processing order.
+type Direction int
+
+const (
+	// LeftToRight: column phases run west to east. Valid whenever the
+	// mask has no NE dependency — every cross-phase read then points
+	// west or up, at blocks already done.
+	LeftToRight Direction = iota
+	// RightToLeft: column phases run east to west. Valid when the mask
+	// reads NE but neither W nor NW — the mirror image.
+	RightToLeft
+	// SinglePhase: the mask reads both eastward (NE) and westward
+	// (W/NW), so no column cut has all its cross-edge inputs on one
+	// side; each band is one full-width block and the pipeline runs on
+	// bands alone.
+	SinglePhase
+)
+
+func (d Direction) String() string {
+	switch d {
+	case LeftToRight:
+		return "ltr"
+	case RightToLeft:
+		return "rtl"
+	default:
+		return "single-phase"
+	}
+}
+
+// DirectionFor returns the phase order a contributing set admits. The
+// choice is forced, not heuristic: under a left-to-right cut a NE
+// dependency at a phase's right edge reads a column the same band has
+// not reached yet, and symmetrically for W/NW under right-to-left.
+func DirectionFor(m lddp.DepMask) Direction {
+	switch {
+	case m.Has(lddp.DepNE) && m&(lddp.DepW|lddp.DepNW) != 0:
+		return SinglePhase
+	case m.Has(lddp.DepNE):
+		return RightToLeft
+	default:
+		return LeftToRight
+	}
+}
+
+// DefaultPhaseCols is the column width of one block phase when the
+// config does not set one: wide enough that halo traffic (one row +
+// two columns per block) stays a rounding error next to block cells.
+const DefaultPhaseCols = 256
+
+// Config configures a Coordinator.
+type Config struct {
+	// Nodes are the lddpd peers, one client per node. Band k starts on
+	// node k mod len(Nodes) and moves only on failure.
+	Nodes []*client.Client
+
+	// Bands is the number of row bands (default len(Nodes), clamped to
+	// the table's rows).
+	Bands int
+
+	// PhaseCols is the column width of one block phase (default
+	// DefaultPhaseCols). Single-phase masks ignore it.
+	PhaseCols int
+
+	// MaxBlockAttempts bounds how many nodes one block is tried on
+	// before the solve fails (counting the first; default
+	// 2 * len(Nodes)).
+	MaxBlockAttempts int
+
+	// OnBlockDone, when set, runs after each block completes, before
+	// its dependents are released — the fleet test suite's fault
+	// injection point (e.g. kill a node after its first block).
+	OnBlockDone func(band, phase, node int)
+}
+
+// Stats counts one fleet solve's work.
+type Stats struct {
+	// Bands, Phases and Blocks describe the executed plan
+	// (Blocks = Bands * Phases).
+	Bands, Phases, Blocks int
+	// Direction is the phase order the mask forced.
+	Direction Direction
+	// Relocations counts blocks moved to another node after a failure.
+	Relocations int
+	// NodeBlocks[n] counts blocks completed by Nodes[n].
+	NodeBlocks []int
+}
+
+// Result is one assembled fleet solve.
+type Result struct {
+	Rows, Cols int
+	// Cells is the full table, row-major.
+	Cells []int64
+	// Digest is the FNV-1a-64 hex digest of the assembled table — the
+	// same fold a single node computes for the whole solve, so fleet
+	// and single-node digests are directly comparable.
+	Digest string
+	// Mask is the resolved contributing set.
+	Mask string
+	// ElapsedMS is the coordinator wall time.
+	ElapsedMS float64
+	Stats     Stats
+}
+
+// At reads the assembled table.
+func (r *Result) At(i, j int) int64 { return r.Cells[i*r.Cols+j] }
+
+// Coordinator runs band-sharded solves over a fixed node set. Safe for
+// concurrent use; each Solve builds its own plan and scratch state.
+type Coordinator struct {
+	cfg Config
+}
+
+// New validates the config and returns a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("fleet: no nodes")
+	}
+	if cfg.PhaseCols < 0 || cfg.Bands < 0 || cfg.MaxBlockAttempts < 0 {
+		return nil, fmt.Errorf("fleet: negative config value")
+	}
+	if cfg.PhaseCols == 0 {
+		cfg.PhaseCols = DefaultPhaseCols
+	}
+	if cfg.MaxBlockAttempts == 0 {
+		cfg.MaxBlockAttempts = 2 * len(cfg.Nodes)
+	}
+	return &Coordinator{cfg: cfg}, nil
+}
+
+// PlanError is a request the coordinator itself refused before
+// contacting any node — bad table size, unresolvable mask, inline
+// cells. Always client-error material (400), unlike node and transport
+// failures.
+type PlanError struct{ msg string }
+
+func (e *PlanError) Error() string { return e.msg }
+
+func planErrorf(format string, args ...any) error {
+	return &PlanError{msg: fmt.Sprintf(format, args...)}
+}
+
+// span is a half-open interval of rows or columns.
+type span struct{ lo, hi int }
+
+// plan is one solve's static decomposition.
+type plan struct {
+	mask   lddp.DepMask
+	dir    Direction
+	bands  []span // row extents, index = band
+	phases []span // column extents, index = processing order
+}
+
+func (c *Coordinator) planFor(req *api.SolveRequest) (*plan, error) {
+	kind := req.Workload.Kind
+	if kind == "" {
+		kind = api.KindMix
+	}
+	mask, err := api.ResolveMask(kind, req.Mask)
+	if err != nil {
+		return nil, planErrorf("fleet: %v", err)
+	}
+	if req.Rows <= 0 || req.Cols <= 0 {
+		return nil, planErrorf("fleet: table size %dx%d invalid", req.Rows, req.Cols)
+	}
+	if req.Workload.Cells != nil {
+		return nil, planErrorf("fleet: inline workload cells cannot be sharded; use a seed-generated workload")
+	}
+	p := &plan{mask: mask, dir: DirectionFor(mask)}
+	nb := c.cfg.Bands
+	if nb == 0 {
+		nb = len(c.cfg.Nodes)
+	}
+	if nb > req.Rows {
+		nb = req.Rows
+	}
+	for k := 0; k < nb; k++ {
+		p.bands = append(p.bands, span{k * req.Rows / nb, (k + 1) * req.Rows / nb})
+	}
+	switch p.dir {
+	case SinglePhase:
+		p.phases = []span{{0, req.Cols}}
+	case LeftToRight:
+		for lo := 0; lo < req.Cols; lo += c.cfg.PhaseCols {
+			p.phases = append(p.phases, span{lo, min(lo+c.cfg.PhaseCols, req.Cols)})
+		}
+	case RightToLeft:
+		for hi := req.Cols; hi > 0; hi -= c.cfg.PhaseCols {
+			p.phases = append(p.phases, span{max(hi-c.cfg.PhaseCols, 0), hi})
+		}
+	}
+	return p, nil
+}
+
+// Solve runs one band-sharded solve to completion. req has full-table
+// SolveRequest semantics (kind, seed, mask, strategy, chunk); its
+// DeadlineMS bounds the whole fleet solve coordinator-side, while each
+// block travels without a deadline of its own — a block stuck on a dead
+// node is handled by relocation, not by waiting out a timer.
+func (c *Coordinator) Solve(ctx context.Context, req *api.SolveRequest) (*Result, error) {
+	start := time.Now()
+	p, err := c.planFor(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	ctx, fail := context.WithCancelCause(ctx)
+	defer fail(nil)
+
+	table := make([]int64, req.Rows*req.Cols)
+	// done[k][p] closes when block (band k, processing phase p) is in
+	// the table; a close happens-before the dependent bands' reads of
+	// the block's cells, so halo slicing below needs no extra locking.
+	done := make([][]chan struct{}, len(p.bands))
+	for k := range done {
+		done[k] = make([]chan struct{}, len(p.phases))
+		for i := range done[k] {
+			done[k][i] = make(chan struct{})
+		}
+	}
+
+	var mu sync.Mutex // guards stats counters below
+	stats := Stats{
+		Bands: len(p.bands), Phases: len(p.phases),
+		Blocks: len(p.bands) * len(p.phases), Direction: p.dir,
+		NodeBlocks: make([]int, len(c.cfg.Nodes)),
+	}
+
+	var wg sync.WaitGroup
+	for k := range p.bands {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			node := k % len(c.cfg.Nodes) // home node; sticky after relocation
+			for ph := range p.phases {
+				if k > 0 {
+					select {
+					case <-done[k-1][ph]:
+					case <-ctx.Done():
+						return
+					}
+				}
+				var err error
+				node, err = c.solveBlock(ctx, req, p, table, k, ph, node, &mu, &stats)
+				if err != nil {
+					fail(fmt.Errorf("fleet: band %d phase %d: %w", k, ph, err))
+					return
+				}
+				close(done[k][ph])
+				if c.cfg.OnBlockDone != nil {
+					c.cfg.OnBlockDone(k, ph, node)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows: req.Rows, Cols: req.Cols, Cells: table,
+		Digest:    fmt.Sprintf("%016x", wire.CellsDigest(req.Rows, req.Cols, table)),
+		Mask:      p.mask.String(),
+		ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+		Stats:     stats,
+	}, nil
+}
+
+// solveBlock ships one block to its band's node, relocating on failure,
+// and writes the returned cells into the assembled table. It returns
+// the node that completed the block (the band's node from here on).
+func (c *Coordinator) solveBlock(ctx context.Context, req *api.SolveRequest, p *plan, table []int64, k, ph, node int, mu *sync.Mutex, stats *Stats) (int, error) {
+	rows, cols := req.Rows, req.Cols
+	b, col := p.bands[k], p.phases[ph]
+	breq := &api.BandRequest{
+		Rows: rows, Cols: cols,
+		Row0: b.lo, Row1: b.hi, Col0: col.lo, Col1: col.hi,
+		Mask: req.Mask, Strategy: req.Strategy,
+		Workload: req.Workload, Chunk: req.Chunk,
+	}
+	h := api.HaloSpec(p.mask, rows, cols, b.lo, b.hi, col.lo, col.hi)
+	if h.NorthLen > 0 {
+		breq.NorthLo = h.NorthLo
+		breq.HaloNorth = table[(b.lo-1)*cols+h.NorthLo : (b.lo-1)*cols+h.NorthLo+h.NorthLen]
+	}
+	if h.WestLen > 0 {
+		breq.HaloWest = make([]int64, h.WestLen)
+		for i := range breq.HaloWest {
+			breq.HaloWest[i] = table[(b.lo+i)*cols+col.lo-1]
+		}
+	}
+	if h.EastLen > 0 {
+		breq.HaloEast = make([]int64, h.EastLen)
+		for i := range breq.HaloEast {
+			breq.HaloEast[i] = table[(b.lo+i)*cols+col.hi]
+		}
+	}
+	var last error
+	for attempt := 0; attempt < c.cfg.MaxBlockAttempts; attempt++ {
+		if attempt > 0 {
+			node = (node + 1) % len(c.cfg.Nodes)
+			mu.Lock()
+			stats.Relocations++
+			mu.Unlock()
+		}
+		resp, err := c.cfg.Nodes[node].SolveBand(ctx, breq)
+		if err != nil {
+			last = err
+			if ctx.Err() != nil || !relocatable(err) {
+				return node, last
+			}
+			continue
+		}
+		if len(resp.Cells) != b.hi-b.lo {
+			return node, fmt.Errorf("node %d returned %d rows for a %d-row block", node, len(resp.Cells), b.hi-b.lo)
+		}
+		for i, row := range resp.Cells {
+			if len(row) != col.hi-col.lo {
+				return node, fmt.Errorf("node %d returned %d cols for a %d-col block", node, len(row), col.hi-col.lo)
+			}
+			copy(table[(b.lo+i)*cols+col.lo:(b.lo+i)*cols+col.hi], row)
+		}
+		mu.Lock()
+		stats.NodeBlocks[node]++
+		mu.Unlock()
+		return node, nil
+	}
+	return node, fmt.Errorf("block failed on %d nodes: %w", c.cfg.MaxBlockAttempts, last)
+}
+
+// relocatable reports whether a SolveBand failure is worth retrying on
+// another node: transport errors (the node is gone) and admission
+// pushback that outlived the client's own retries are; a request the
+// service called invalid, a deadline the caller set, and a wire-version
+// mismatch would fail identically everywhere.
+func relocatable(err error) bool {
+	return !errors.Is(err, client.ErrInvalid) &&
+		!errors.Is(err, client.ErrTimeout) &&
+		!errors.Is(err, client.ErrWireVersion)
+}

@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"repro/lddp/api"
+	"repro/lddp/client"
+)
+
+// Response headers of POST /v1/fleet/solve reporting the executed plan;
+// the body stays a plain api.SolveResponse so any solve client can read
+// a fleet answer.
+const (
+	// BandsHeader reports the number of row bands the solve ran with.
+	BandsHeader = "X-Lddp-Fleet-Bands"
+	// RelocationsHeader reports how many blocks were moved to another
+	// node after a failure.
+	RelocationsHeader = "X-Lddp-Fleet-Relocations"
+)
+
+// Handler serves POST /v1/fleet/solve over a Coordinator: the body is a
+// standard SolveRequest (inline cells refused), the optional ?bands=N
+// query overrides the configured band count for this solve, and the 200
+// body is a standard SolveResponse whose digest is the assembled-table
+// digest — directly comparable to a single-node solve of the same
+// request. cmd/lddpd mounts it beside the node mux when -peers is set,
+// which keeps the coordinator layered strictly above the node service:
+// the server package never learns the fleet exists.
+type Handler struct {
+	coord    *Coordinator
+	errorLog *log.Logger
+}
+
+// NewHandler wraps a Coordinator. A nil errorLog selects log.Default().
+func NewHandler(coord *Coordinator, errorLog *log.Logger) *Handler {
+	if errorLog == nil {
+		errorLog = log.Default()
+	}
+	return &Handler{coord: coord, errorLog: errorLog}
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		h.writeError(w, http.StatusMethodNotAllowed, "invalid", "POST required")
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req api.SolveRequest
+	if err := dec.Decode(&req); err != nil {
+		h.writeError(w, http.StatusBadRequest, "invalid", fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	coord := h.coord
+	if v := r.URL.Query().Get("bands"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			h.writeError(w, http.StatusBadRequest, "invalid", fmt.Sprintf("bands=%q is not a positive integer", v))
+			return
+		}
+		c2 := *coord
+		c2.cfg.Bands = n
+		coord = &c2
+	}
+	res, err := coord.Solve(r.Context(), &req)
+	if err != nil {
+		h.writeSolveError(w, r, err)
+		return
+	}
+	w.Header().Set(BandsHeader, strconv.Itoa(res.Stats.Bands))
+	w.Header().Set(RelocationsHeader, strconv.Itoa(res.Stats.Relocations))
+	resp := &api.SolveResponse{
+		Status: "done", Rows: res.Rows, Cols: res.Cols,
+		Mask: res.Mask, Digest: res.Digest, ElapsedMS: res.ElapsedMS,
+	}
+	if req.ReturnCells {
+		resp.Cells = make([][]int64, res.Rows)
+		for i := range resp.Cells {
+			resp.Cells[i] = res.Cells[i*res.Cols : (i+1)*res.Cols]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		h.errorLog.Printf("fleet: writing response: %v", err)
+	}
+}
+
+// writeSolveError maps a coordinator failure onto the wire: request
+// mistakes stay 400, a deadline the caller set maps to 408, and
+// anything else — nodes unreachable, relocation budget exhausted — is
+// 503, the fleet-level "try again later".
+func (h *Handler) writeSolveError(w http.ResponseWriter, r *http.Request, err error) {
+	var planErr *PlanError
+	switch {
+	case errors.As(err, &planErr), errors.Is(err, client.ErrInvalid):
+		h.writeError(w, http.StatusBadRequest, "invalid", err.Error())
+	case errors.Is(err, client.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		h.writeError(w, http.StatusRequestTimeout, "canceled", err.Error())
+	case r.Context().Err() != nil:
+		h.writeError(w, 499, "canceled", err.Error())
+	default:
+		h.writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+	}
+}
+
+func (h *Handler) writeError(w http.ResponseWriter, code int, status, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(api.ErrorBody{Status: status, Error: msg}); err != nil {
+		h.errorLog.Printf("fleet: writing %d error body: %v", code, err)
+	}
+}

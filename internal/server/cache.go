@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/wire"
 	"repro/lddp"
-	"repro/lddp/client"
+	"repro/lddp/api"
 )
 
 // DefaultCacheBytes bounds the result cache when Config.CacheBytes is
@@ -79,7 +79,7 @@ func newResultCache(maxBytes int64) *resultCache {
 
 // keyForRequest builds the cache key of a validated request whose
 // problem has been built (deps is the problem's normalized mask).
-func keyForRequest(req *client.SolveRequest, deps lddp.DepMask) cacheKey {
+func keyForRequest(req *api.SolveRequest, deps lddp.DepMask) cacheKey {
 	k := cacheKey{
 		kind:     req.Workload.Kind,
 		seed:     req.Workload.Seed,
@@ -90,7 +90,7 @@ func keyForRequest(req *client.SolveRequest, deps lddp.DepMask) cacheKey {
 		chunk:    req.Chunk,
 	}
 	if k.kind == "" {
-		k.kind = client.KindMix
+		k.kind = api.KindMix
 	}
 	if k.strategy == "" {
 		k.strategy = "auto"

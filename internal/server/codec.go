@@ -9,7 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/wire"
-	"repro/lddp/client"
+	"repro/lddp/api"
 )
 
 // negotiation is the per-request codec decision, read once from the
@@ -64,7 +64,7 @@ func mediaTypeIs(v, want string) bool {
 
 // CacheHeader is the response header reporting the result-cache outcome
 // of a 200: "hit", "miss", or "bypass" (lookup skipped on request).
-const CacheHeader = "X-Lddp-Cache"
+const CacheHeader = api.CacheHeader
 
 // ParseBinaryRequest decodes one wire-frame solve request body. The
 // frame header is the SolveRequest JSON document (same strictness as
@@ -74,7 +74,7 @@ const CacheHeader = "X-Lddp-Cache"
 // must be called exactly once, only after nothing references the
 // request's inline cells anymore (after the solve completes), and never
 // on paths where the solve may still be running.
-func ParseBinaryRequest(r io.Reader, maxInline int) (req *client.SolveRequest, release func(), err error) {
+func ParseBinaryRequest(r io.Reader, maxInline int) (req *api.SolveRequest, release func(), err error) {
 	d := wire.NewDecoder(r)
 	defer d.Release()
 	d.SetMaxHeaderBytes(1 << 20)
@@ -83,7 +83,7 @@ func ParseBinaryRequest(r io.Reader, maxInline int) (req *client.SolveRequest, r
 	if err != nil {
 		return nil, nil, fmt.Errorf("decoding request frame: %w", err)
 	}
-	req = new(client.SolveRequest)
+	req = new(api.SolveRequest)
 	dec := json.NewDecoder(bytes.NewReader(hdr))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
@@ -129,8 +129,8 @@ func ParseBinaryRequest(r io.Reader, maxInline int) (req *client.SolveRequest, r
 // and the response aborted — the client is gone or the connection is
 // broken, and a half-written body must not be "repaired" with more
 // writes.
-func (s *Server) writeSolveResponse(w http.ResponseWriter, neg negotiation, resp *client.SolveResponse, flat []int64, includeCells bool) {
-	w.Header().Set(client.SolveIDHeader, fmt.Sprint(resp.ID))
+func (s *Server) writeSolveResponse(w http.ResponseWriter, neg negotiation, resp *api.SolveResponse, flat []int64, includeCells bool) {
+	w.Header().Set(api.SolveIDHeader, fmt.Sprint(resp.ID))
 	if neg.binaryResponse {
 		s.wireStats.binaryResponses.Add(1)
 		w.Header().Set("Content-Type", wire.MediaType)

@@ -12,7 +12,7 @@ import (
 	"repro/internal/wire"
 	"repro/internal/workload"
 	"repro/lddp"
-	"repro/lddp/client"
+	"repro/lddp/api"
 )
 
 // MixProblem builds the seeded adversarial instance family of the
@@ -146,7 +146,7 @@ func GeneratedCostCells(seed int64, rows, cols int) [][]int64 {
 }
 
 // AlignMask is the fixed contributing set of the "align" kind.
-const AlignMask = lddp.DepW | lddp.DepNW | lddp.DepN
+const AlignMask = api.AlignMask
 
 // AlignProblem builds an edit-distance instance over two similar DNA
 // strings from internal/workload (length rows and cols, ~5% mutations):
@@ -193,42 +193,27 @@ func AlignProblem(seed int64, rows, cols int) *lddp.Problem[int64] {
 // It is exported (and deterministic in the request) so the e2e
 // differential suite can rebuild the exact server-side instance for its
 // sequential oracle.
-func BuildProblem(req *client.SolveRequest) (*lddp.Problem[int64], error) {
+func BuildProblem(req *api.SolveRequest) (*lddp.Problem[int64], error) {
 	kind := req.Workload.Kind
 	if kind == "" {
-		kind = client.KindMix
+		kind = api.KindMix
 	}
-	mask := AlignMask
-	if kind != client.KindAlign {
-		var err error
-		mask = lddp.DepW | lddp.DepN
-		if req.Mask != "" {
-			mask, err = lddp.ParseDepMask(req.Mask)
-			if err != nil {
-				return nil, err
-			}
-		}
-	} else if req.Mask != "" {
-		m, err := lddp.ParseDepMask(req.Mask)
-		if err != nil {
-			return nil, err
-		}
-		if m != AlignMask {
-			return nil, fmt.Errorf("the align workload runs the fixed %s recurrence; omit mask or pass %q", AlignMask, AlignMask.String())
-		}
+	mask, err := api.ResolveMask(kind, req.Mask)
+	if err != nil {
+		return nil, err
 	}
 	switch kind {
-	case client.KindMix:
+	case api.KindMix:
 		return MixProblem(req.Workload.Seed, mask, req.Rows, req.Cols), nil
-	case client.KindServe:
+	case api.KindServe:
 		return ServeProblem(mask, req.Rows, req.Cols), nil
-	case client.KindCost:
+	case api.KindCost:
 		cells := req.Workload.Cells
 		if cells == nil {
 			cells = GeneratedCostCells(req.Workload.Seed, req.Rows, req.Cols)
 		}
 		return CostProblem(mask, req.Rows, req.Cols, cells)
-	case client.KindAlign:
+	case api.KindAlign:
 		return AlignProblem(req.Workload.Seed, req.Rows, req.Cols), nil
 	default:
 		return nil, fmt.Errorf("unknown workload kind %q (want mix, serve, cost or align)", kind)

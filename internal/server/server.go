@@ -14,7 +14,7 @@ import (
 	"time"
 
 	"repro/lddp"
-	"repro/lddp/client"
+	"repro/lddp/api"
 )
 
 // Config configures a Server. The zero value selects all defaults.
@@ -170,15 +170,33 @@ func (s *Server) Config() Config { return s.cfg }
 // Metrics returns the server's metrics collector.
 func (s *Server) Metrics() *lddp.Metrics { return s.cfg.Metrics }
 
-// Handler returns the service mux: POST /v1/solve, GET /healthz,
-// GET /readyz, GET /metrics.
+// Handler returns the service mux. Every endpoint lives under the /v1
+// prefix — POST /v1/solve, POST /v1/band/solve, GET /v1/healthz,
+// GET /v1/readyz, GET /v1/metrics — with the pre-versioning operational
+// paths (/healthz, /readyz, /metrics) kept as aliases so existing
+// probes and scrapers keep working. Unknown paths answer a JSON
+// ErrorBody 404, not the text/plain default: every consumer of this
+// service parses ErrorBody on failure, and a route typo should produce
+// the same shape as every other refusal.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/band/solve", s.handleBandSolve)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/", s.handleNotFound)
 	return mux
+}
+
+// handleNotFound is the mux fallback: a JSON ErrorBody 404 naming the
+// unmatched path.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.writeError(w, http.StatusNotFound, "not_found", 0,
+		fmt.Sprintf("no route %s %s", r.Method, r.URL.Path))
 }
 
 // BeginDrain flips the server into draining: GET /readyz answers 503 (so
@@ -256,14 +274,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // 503 carry the Retry-After pushback in both header (whole seconds,
 // rounded up) and body (milliseconds).
 func (s *Server) writeError(w http.ResponseWriter, code int, status string, id int64, msg string) {
-	body := client.ErrorBody{Status: status, Error: msg, ID: id}
+	body := api.ErrorBody{Status: status, Error: msg, ID: id}
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		body.RetryAfterMS = s.cfg.RetryAfter.Milliseconds()
 		secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
 	if id > 0 {
-		w.Header().Set(client.SolveIDHeader, strconv.FormatInt(id, 10))
+		w.Header().Set(api.SolveIDHeader, strconv.FormatInt(id, 10))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -313,7 +331,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	neg := negotiate(r)
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var req *client.SolveRequest
+	var req *api.SolveRequest
 	var err error
 	releaseInline := func() {}
 	if neg.binaryRequest {
@@ -359,7 +377,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		} else if e := s.cache.get(key); e != nil {
 			releaseInline()
 			w.Header().Set(CacheHeader, "hit")
-			resp := &client.SolveResponse{
+			resp := &api.SolveResponse{
 				ID: e.id, Status: "done", Cached: true,
 				Rows: problem.Rows, Cols: problem.Cols,
 				Mask: e.mask, Pattern: e.pattern, Digest: e.digest,
@@ -413,7 +431,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	releaseInline()
 	elapsed := time.Since(start)
 
-	resp := &client.SolveResponse{
+	resp := &api.SolveResponse{
 		ID:        id,
 		Status:    "done",
 		Rows:      problem.Rows,

@@ -6,7 +6,7 @@ import (
 	"io"
 
 	"repro/internal/sched"
-	"repro/lddp/client"
+	"repro/lddp/api"
 )
 
 // Request validation ceilings. They are service-protection bounds, not
@@ -32,10 +32,10 @@ const (
 // ParseSolveRequest decodes one POST /v1/solve body. Unknown fields are
 // rejected — a misspelled knob silently ignored would run the wrong
 // solve. The returned error is always a client error (400 material).
-func ParseSolveRequest(r io.Reader) (*client.SolveRequest, error) {
+func ParseSolveRequest(r io.Reader) (*api.SolveRequest, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
-	var req client.SolveRequest
+	var req api.SolveRequest
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("decoding request: %w", err)
 	}
@@ -50,7 +50,7 @@ func ParseSolveRequest(r io.Reader) (*client.SolveRequest, error) {
 // ValidateRequest checks a decoded request against the server's caps.
 // A nil error guarantees BuildProblem accepts the request (up to the
 // mask/kind cross-checks BuildProblem itself reports).
-func (s *Server) ValidateRequest(req *client.SolveRequest) error {
+func (s *Server) ValidateRequest(req *api.SolveRequest) error {
 	if req.Rows <= 0 || req.Cols <= 0 {
 		return fmt.Errorf("table size %dx%d invalid: rows and cols must be positive", req.Rows, req.Cols)
 	}
@@ -64,12 +64,12 @@ func (s *Server) ValidateRequest(req *client.SolveRequest) error {
 		return fmt.Errorf("unknown strategy %q (want auto or parallel)", req.Strategy)
 	}
 	switch req.Workload.Kind {
-	case "", client.KindMix, client.KindServe, client.KindCost, client.KindAlign:
+	case "", api.KindMix, api.KindServe, api.KindCost, api.KindAlign:
 	default:
 		return fmt.Errorf("unknown workload kind %q (want mix, serve, cost or align)", req.Workload.Kind)
 	}
 	if req.Workload.Cells != nil {
-		if req.Workload.Kind != client.KindCost {
+		if req.Workload.Kind != api.KindCost {
 			return fmt.Errorf("inline cells are only valid with the cost workload kind")
 		}
 		if cells > int64(s.cfg.MaxInlineCells) {

@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// encodeHaloFrame builds one band-style frame: header, cells, then the
+// given halo sections in order.
+func encodeHaloFrame(t testing.TB, hdr any, cells []int64, sections map[uint64][]int64, order []uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.Header(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if cells != nil {
+		if err := e.Cells(cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tag := range order {
+		if err := e.Section(tag, sections[tag]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeSections drains the section list into a tag->cells map.
+func decodeSections(t testing.TB, d *Decoder) map[uint64][]int64 {
+	t.Helper()
+	out := map[uint64][]int64{}
+	for {
+		tag, cells, err := d.Section(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag == 0 {
+			return out
+		}
+		out[tag] = cells
+	}
+}
+
+func TestSectionRoundTrip(t *testing.T) {
+	north := []int64{1, -2, 3, 4}
+	west := []int64{-9, 8}
+	east := []int64{7}
+	frame := encodeHaloFrame(t, testHeader{Name: "halo", N: 3},
+		[]int64{10, 20, 30},
+		map[uint64][]int64{SectionNorth: north, SectionWest: west, SectionEast: east},
+		[]uint64{SectionNorth, SectionWest, SectionEast})
+
+	d := NewDecoder(bytes.NewReader(frame))
+	defer d.Release()
+	if _, err := d.Header(); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := d.Cells(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 || cells[2] != 30 {
+		t.Fatalf("cells = %v", cells)
+	}
+	got := decodeSections(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for tag, want := range map[uint64][]int64{SectionNorth: north, SectionWest: west, SectionEast: east} {
+		g := got[tag]
+		if len(g) != len(want) {
+			t.Fatalf("tag %d: %v, want %v", tag, g, want)
+		}
+		for i := range want {
+			if g[i] != want[i] {
+				t.Fatalf("tag %d cell %d: %d, want %d", tag, i, g[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSectionEmptyCells pins the empty-cell-section band request shape:
+// sections directly after the header, no Cells call at all.
+func TestSectionEmptyCells(t *testing.T) {
+	frame := encodeHaloFrame(t, testHeader{Name: "req"}, nil,
+		map[uint64][]int64{SectionNorth: {5, 6}}, []uint64{SectionNorth})
+	d := NewDecoder(bytes.NewReader(frame))
+	defer d.Release()
+	if _, err := d.Header(); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := d.Cells(nil)
+	if err != nil || len(cells) != 0 {
+		t.Fatalf("cells = %v, err %v", cells, err)
+	}
+	got := decodeSections(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[SectionNorth]) != 2 {
+		t.Fatalf("sections = %v", got)
+	}
+}
+
+// TestPlainFrameUnchanged: a frame without sections must be
+// byte-identical to the pre-section format — the encoder adds no
+// terminator, and old-style decode (Cells then Close) succeeds.
+func TestPlainFrameUnchanged(t *testing.T) {
+	cells := []int64{4, 5, 6}
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.Header(testHeader{Name: "plain"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cells(cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the legacy layout by hand: version, varint len, header
+	// JSON, one chunk, terminator, digest.
+	hdr := []byte(`{"name":"plain","n":0}`)
+	var want bytes.Buffer
+	want.WriteByte(Version)
+	want.WriteByte(byte(len(hdr)))
+	want.Write(hdr)
+	want.WriteByte(3)
+	h := DigestBytes(DigestBytes(DigestInit(), []byte{Version}), hdr)
+	for _, v := range cells {
+		var le [8]byte
+		for i := 0; i < 8; i++ {
+			le[i] = byte(uint64(v) >> (8 * i))
+		}
+		want.Write(le[:])
+		h = DigestWord(h, uint64(v))
+	}
+	want.WriteByte(0)
+	var tr [8]byte
+	for i := 0; i < 8; i++ {
+		tr[i] = byte(h >> (8 * i))
+	}
+	want.Write(tr[:])
+	if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+		t.Fatalf("plain frame drifted:\n got %x\nwant %x", buf.Bytes(), want.Bytes())
+	}
+}
+
+// TestSectionDigestCoversTag: swapping two same-length sections' tags
+// changes the digest, so a relay cannot silently relabel a halo.
+func TestSectionDigestCoversTag(t *testing.T) {
+	frame := encodeHaloFrame(t, testHeader{}, nil,
+		map[uint64][]int64{SectionNorth: {1, 2}}, []uint64{SectionNorth})
+	// Find and flip the tag byte (first byte after the cell terminator).
+	// Layout: 1 version + 1 hdrlen + hdr + 1 cell-term, then tag; the
+	// header is short enough that its uvarint length is a single byte.
+	i := 2 + int(frame[1]) + 1
+	if frame[i] != byte(SectionNorth) {
+		t.Fatalf("frame[%d] = %d, want tag %d", i, frame[i], SectionNorth)
+	}
+	frame[i] = byte(SectionWest)
+	d := NewDecoder(bytes.NewReader(frame))
+	defer d.Release()
+	if _, err := d.Header(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Cells(nil); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		tag, _, err := d.Section(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag == 0 {
+			break
+		}
+	}
+	if err := d.Close(); !errors.Is(err, ErrDigest) {
+		t.Fatalf("got %v, want ErrDigest after tag swap", err)
+	}
+}
+
+// TestSectionCapSharedWithCells: halo cells draw down the same budget
+// as the cell section, so a frame cannot smuggle an oversized payload
+// through sections.
+func TestSectionCapSharedWithCells(t *testing.T) {
+	frame := encodeHaloFrame(t, testHeader{}, make([]int64, 40),
+		map[uint64][]int64{SectionNorth: make([]int64, 20)}, []uint64{SectionNorth})
+	d := NewDecoder(bytes.NewReader(frame))
+	defer d.Release()
+	d.SetMaxCells(50)
+	if _, err := d.Header(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Cells(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Section(nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("got %v, want ErrFrame when sections exceed the shared cap", err)
+	}
+}
+
+func TestSectionOrderingErrors(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.Section(SectionNorth, nil); err == nil {
+		t.Fatal("Section before Header succeeded")
+	}
+	if err := e.Header(testHeader{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Section(0, nil); err == nil {
+		t.Fatal("Section(0) succeeded")
+	}
+	if err := e.Section(SectionNorth, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cells([]int64{1}); err == nil {
+		t.Fatal("Cells after Section succeeded")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkHaloEncodeDecode is the halo-frame analogue of the
+// EncodeDecode codec benchmark: one band request frame (header + three
+// halo sections over pooled buffers), encode + full decode. Gated by
+// benchjson -assert in make bench-wire / CI.
+func BenchmarkHaloEncodeDecode2048(b *testing.B) {
+	north := make([]int64, 2048)
+	west := make([]int64, 1024)
+	east := make([]int64, 1024)
+	for i := range north {
+		north[i] = int64(i) * 7
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		e := NewEncoder(&buf)
+		if err := e.Header(testHeader{Name: "halo"}); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Section(SectionNorth, north); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Section(SectionWest, west); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Section(SectionEast, east); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			b.Fatal(err)
+		}
+		d := NewDecoder(bytes.NewReader(buf.Bytes()))
+		if _, err := d.Header(); err != nil {
+			b.Fatal(err)
+		}
+		got, err := d.Cells(GetCells(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			tag, g, err := d.Section(got)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got = g
+			if tag == 0 {
+				break
+			}
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+		d.Release()
+		PutCells(got)
+	}
+}

@@ -10,9 +10,13 @@
 //	[v]  uvarint header length, then that many bytes of JSON header
 //	[*]  zero or more cell chunks: uvarint count n > 0, then n cells as
 //	     little-endian int64; a uvarint 0 ends the cell section
+//	[*]  zero or more halo sections (band frames only): uvarint tag > 0,
+//	     uvarint count, then count cells as little-endian int64; a
+//	     uvarint 0 ends the section list when any section was written
 //	[8]  digest trailer: little-endian FNV-1a-64 folded byte-wise over
 //	     the version byte and the header JSON, then word-wise over every
-//	     cell value, in frame order
+//	     cell value and, for halo sections, the tag word followed by the
+//	     section's cell values, in frame order
 //
 // The header stays JSON — it is tens of bytes and schema evolution is
 // free — while the cell payload, which dominates a table response,
@@ -20,6 +24,12 @@
 // can stream cells through a fixed-size buffer instead of decoding one
 // giant marshal, and a corrupted or truncated frame is caught by the
 // trailer before anyone trusts the cells.
+//
+// Halo sections carry the edge rows/columns of the band-solve peer
+// protocol (DESIGN.md §12). A frame without sections is byte-identical
+// to the pre-section format — the section list exists on the wire only
+// when a writer emits at least one section, and only section-aware
+// readers (the /v1/band/solve endpoints) ask for them.
 package wire
 
 import (
@@ -45,6 +55,17 @@ const (
 	// ChunkCells is the cell count of one wire chunk (32 KiB of payload):
 	// the streaming granularity of large responses.
 	ChunkCells = 4096
+)
+
+// Halo section tags of the band-solve protocol. Tag 0 is reserved as
+// the section-list terminator and is never a valid section tag.
+const (
+	// SectionNorth: full-table row Row0-1 over the HaloSpec column span.
+	SectionNorth uint64 = 1
+	// SectionWest: full-table column Col0-1 over rows [Row0, Row1).
+	SectionWest uint64 = 2
+	// SectionEast: full-table column Col1 over rows [Row0, Row1).
+	SectionEast uint64 = 3
 )
 
 // Typed decode failures, matched with errors.Is.
@@ -138,12 +159,14 @@ func PutCells(buf []int64) {
 // times, then Close (which writes the end marker and digest trailer and
 // returns the scratch buffer to the pool). Not safe for concurrent use.
 type Encoder struct {
-	w       io.Writer
-	scratch *[]byte
-	h       uint64
-	flush   func()
-	started bool
-	closed  bool
+	w          io.Writer
+	scratch    *[]byte
+	h          uint64
+	flush      func()
+	started    bool
+	closed     bool
+	cellsEnded bool // the cell-section terminator has been written
+	sections   bool // at least one halo section has been written
 }
 
 // NewEncoder returns an Encoder writing one frame to w.
@@ -183,6 +206,9 @@ func (e *Encoder) Cells(cells []int64) error {
 	if !e.started || e.closed {
 		return errors.New("wire: Cells outside Header..Close")
 	}
+	if e.cellsEnded {
+		return errors.New("wire: Cells after a halo section")
+	}
 	for len(cells) > 0 {
 		n := len(cells)
 		if n > ChunkCells {
@@ -207,7 +233,60 @@ func (e *Encoder) Cells(cells []int64) error {
 	return nil
 }
 
-// Close writes the end-of-cells marker and the digest trailer, then
+// Section writes one tagged halo section (tag > 0): the section list
+// sits between the cell section and the digest trailer, so Section must
+// come after any Cells calls. The tag word and the cell values fold
+// into the frame digest; the slice is only read.
+func (e *Encoder) Section(tag uint64, cells []int64) error {
+	if !e.started || e.closed {
+		return errors.New("wire: Section outside Header..Close")
+	}
+	if tag == 0 {
+		return errors.New("wire: section tag 0 is the list terminator")
+	}
+	b := (*e.scratch)[:0]
+	if !e.cellsEnded {
+		// First section: close the (possibly empty) cell section.
+		e.cellsEnded = true
+		b = binary.AppendUvarint(b, 0)
+	}
+	e.sections = true
+	b = binary.AppendUvarint(b, tag)
+	b = binary.AppendUvarint(b, uint64(len(cells)))
+	e.h = DigestWord(e.h, tag)
+	for _, v := range cells {
+		w := uint64(v)
+		b = binary.LittleEndian.AppendUint64(b, w)
+		e.h = DigestWord(e.h, w)
+	}
+	*e.scratch = b
+	return e.writeAll(b)
+}
+
+// BeginSections closes the (possibly empty) cell section and marks the
+// frame as carrying a section list, so Close writes the section
+// terminator even when no Section call follows. Writers of band frames
+// call it unconditionally: the reader of a band frame always drains the
+// section list, and a section list must exist — possibly empty — for
+// the frame to parse. Idempotent once any section has been written.
+func (e *Encoder) BeginSections() error {
+	if !e.started || e.closed {
+		return errors.New("wire: BeginSections outside Header..Close")
+	}
+	if !e.cellsEnded {
+		e.cellsEnded = true
+		b := binary.AppendUvarint((*e.scratch)[:0], 0)
+		*e.scratch = b
+		if err := e.writeAll(b); err != nil {
+			return err
+		}
+	}
+	e.sections = true
+	return nil
+}
+
+// Close writes the end-of-cells marker (and, when halo sections were
+// written, the end-of-sections marker) and the digest trailer, then
 // releases the encoder's scratch. Safe to call once.
 func (e *Encoder) Close() error {
 	if e.closed {
@@ -218,7 +297,12 @@ func (e *Encoder) Close() error {
 	}
 	e.closed = true
 	b := (*e.scratch)[:0]
-	b = binary.AppendUvarint(b, 0)
+	if !e.cellsEnded {
+		b = binary.AppendUvarint(b, 0)
+	}
+	if e.sections {
+		b = binary.AppendUvarint(b, 0)
+	}
 	b = binary.LittleEndian.AppendUint64(b, e.h)
 	*e.scratch = b
 	err := e.writeAll(b)
@@ -259,7 +343,9 @@ type Decoder struct {
 	h         uint64
 	maxHeader int
 	maxCells  int64
+	total     int64   // cells consumed so far (cell section + halo sections)
 	state     int     // 0 fresh, 1 header read, 2 cells read, 3 closed
+	secEnded  bool    // the section-list terminator has been consumed
 	one       [1]byte // readByte scratch; a local would escape per call
 }
 
@@ -358,8 +444,6 @@ func (d *Decoder) Cells(dst []int64) ([]int64, error) {
 		return dst, errors.New("wire: Cells outside Header..Close")
 	}
 	d.state = 2
-	total := int64(0)
-	buf := (*d.scratch)[:cap(*d.scratch)]
 	for {
 		n, err := d.readUvarint()
 		if err != nil {
@@ -368,31 +452,75 @@ func (d *Decoder) Cells(dst []int64) ([]int64, error) {
 		if n == 0 {
 			return dst, nil
 		}
-		// The count is untrusted: compare in unsigned space first, so a
-		// chunk count near 2^64 cannot wrap a signed sum past the cap.
-		// After the first two checks, n fits in int64 and total <= maxCells
-		// holds, so the subtraction cannot overflow.
-		if d.maxCells < 0 || n > uint64(d.maxCells) || int64(n) > d.maxCells-total {
-			return dst, fmt.Errorf("%w: cell payload exceeds the %d-cell cap", ErrFrame, d.maxCells)
-		}
-		total += int64(n)
-		for n > 0 {
-			c := uint64(len(buf) / 8)
-			if c > n {
-				c = n
-			}
-			p := buf[:c*8]
-			if _, err := io.ReadFull(d.r, p); err != nil {
-				return dst, fmt.Errorf("%w: truncated cell chunk: %v", ErrFrame, err)
-			}
-			for i := uint64(0); i < c; i++ {
-				w := binary.LittleEndian.Uint64(p[i*8:])
-				d.h = DigestWord(d.h, w)
-				dst = append(dst, int64(w))
-			}
-			n -= c
+		dst, err = d.readCellRun(dst, n, "cell chunk")
+		if err != nil {
+			return dst, err
 		}
 	}
+}
+
+// readCellRun consumes n cells against the shared cell budget, folding
+// each into the digest and appending onto dst.
+func (d *Decoder) readCellRun(dst []int64, n uint64, what string) ([]int64, error) {
+	// The count is untrusted: compare in unsigned space first, so a
+	// count near 2^64 cannot wrap a signed sum past the cap. After the
+	// first two checks, n fits in int64 and total <= maxCells holds, so
+	// the subtraction cannot overflow.
+	if d.maxCells < 0 || n > uint64(d.maxCells) || int64(n) > d.maxCells-d.total {
+		return dst, fmt.Errorf("%w: cell payload exceeds the %d-cell cap", ErrFrame, d.maxCells)
+	}
+	d.total += int64(n)
+	buf := (*d.scratch)[:cap(*d.scratch)]
+	for n > 0 {
+		c := uint64(len(buf) / 8)
+		if c > n {
+			c = n
+		}
+		p := buf[:c*8]
+		if _, err := io.ReadFull(d.r, p); err != nil {
+			return dst, fmt.Errorf("%w: truncated %s: %v", ErrFrame, what, err)
+		}
+		for i := uint64(0); i < c; i++ {
+			w := binary.LittleEndian.Uint64(p[i*8:])
+			d.h = DigestWord(d.h, w)
+			dst = append(dst, int64(w))
+		}
+		n -= c
+	}
+	return dst, nil
+}
+
+// Section reads the next halo section, appending its cells onto dst and
+// returning the section tag; tag 0 means the section list has ended
+// (the terminator is consumed) and Close may follow. Call only between
+// Cells and Close, and only on frames whose writer emits sections — on
+// a plain frame the first Section call consumes the digest trailer as
+// junk and fails with ErrFrame or a digest mismatch at Close.
+func (d *Decoder) Section(dst []int64) (uint64, []int64, error) {
+	if d.state != 2 {
+		return 0, dst, errors.New("wire: Section outside Cells..Close")
+	}
+	if d.secEnded {
+		return 0, dst, nil
+	}
+	tag, err := d.readUvarint()
+	if err != nil {
+		return 0, dst, fmt.Errorf("%w: reading section tag: %v", ErrFrame, err)
+	}
+	if tag == 0 {
+		d.secEnded = true
+		return 0, dst, nil
+	}
+	n, err := d.readUvarint()
+	if err != nil {
+		return 0, dst, fmt.Errorf("%w: reading section count: %v", ErrFrame, err)
+	}
+	d.h = DigestWord(d.h, tag)
+	dst, err = d.readCellRun(dst, n, "halo section")
+	if err != nil {
+		return 0, dst, err
+	}
+	return tag, dst, nil
 }
 
 // Close reads and verifies the digest trailer.

@@ -292,20 +292,20 @@ func decodeError(hresp *http.Response) *APIError {
 	return apiErr
 }
 
-// Health reports whether the server process is up (GET /healthz).
+// Health reports whether the server process is up (GET /v1/healthz).
 func (c *Client) Health(ctx context.Context) error {
-	return c.getOK(ctx, "/healthz")
+	return c.getOK(ctx, "/v1/healthz")
 }
 
-// Ready reports whether the server is accepting solves (GET /readyz);
+// Ready reports whether the server is accepting solves (GET /v1/readyz);
 // a draining server returns ErrUnavailable.
 func (c *Client) Ready(ctx context.Context) error {
-	return c.getOK(ctx, "/readyz")
+	return c.getOK(ctx, "/v1/readyz")
 }
 
-// Metrics fetches the server's metrics snapshot (GET /metrics).
+// Metrics fetches the server's metrics snapshot (GET /v1/metrics).
 func (c *Client) Metrics(ctx context.Context) (*lddp.MetricsSnapshot, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
 	if err != nil {
 		return nil, err
 	}

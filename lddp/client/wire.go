@@ -1,121 +1,46 @@
 // Package client is the Go client of the lddpd network solve service
-// (cmd/lddpd): typed requests and responses for POST /v1/solve, context
-// support, and retry with exponential backoff + jitter that honors the
-// server's Retry-After pushback. The wire protocol is documented in
-// DESIGN.md §10; internal/server implements the other side.
+// (cmd/lddpd): typed requests and responses for POST /v1/solve and the
+// band-solve peer protocol, context support, and retry with exponential
+// backoff + jitter that honors the server's Retry-After pushback. The
+// wire protocol is documented in DESIGN.md §10–§12; the wire types
+// themselves live in repro/lddp/api (the neutral contract package this
+// package and internal/server both depend on) and are re-exported here
+// as aliases, so existing importers keep compiling unchanged.
 package client
 
-// SolveRequest is the body of POST /v1/solve. The server builds the DP
-// problem from the declarative spec (shape, mask, workload), runs it on
-// the shared scheduler, and returns a SolveResponse. Cell values are
-// int64 on the wire.
-type SolveRequest struct {
-	// Rows and Cols are the DP-table dimensions. Both must be positive
-	// and Rows*Cols must not exceed the server's per-request cell cap.
-	Rows int `json:"rows"`
-	Cols int `json:"cols"`
+import "repro/lddp/api"
 
-	// Mask is the contributing set, e.g. "W,N" or "{W,NW,NE}"
-	// (case-insensitive, parsed by lddp.ParseDepMask). Empty selects the
-	// workload kind's default mask.
-	Mask string `json:"mask,omitempty"`
-
-	// Strategy selects the executor: "auto" (default) or "parallel" —
-	// the two strategies the shared scheduler can run.
-	Strategy string `json:"strategy,omitempty"`
-
-	// Workload selects the problem generator; the zero value is the
-	// seeded "mix" generator.
-	Workload WorkloadSpec `json:"workload"`
-
-	// Chunk overrides the scheduler's cells-per-claim chunk for this
-	// solve; 0 inherits the server default.
-	Chunk int `json:"chunk,omitempty"`
-
-	// DeadlineMS bounds the solve (queue wait + run) in milliseconds,
-	// enforced server-side; 0 means no deadline beyond the connection's.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-
-	// ReturnCells asks for the full table in the response. Honored only
-	// when Rows*Cols is at or under the server's response-cell cap;
-	// larger tables return the digest alone.
-	ReturnCells bool `json:"return_cells,omitempty"`
-}
+// SolveRequest is the body of POST /v1/solve (alias of api.SolveRequest).
+type SolveRequest = api.SolveRequest
 
 // WorkloadSpec selects the server-side problem generator of a solve
-// request. Kinds:
-//
-//	"mix"   (default) seeded wraparound multiply-xor recurrence — the
-//	        adversarial instance family of the conformance suite; any mask.
-//	"serve" the load driver's cheap integer-mixing recurrence; any mask.
-//	"cost"  min-plus over a cost grid: inline Cells when provided
-//	        (small tables), otherwise generated from Seed; any mask.
-//	"align" edit distance over two similar strings generated from Seed
-//	        (lengths Rows and Cols); mask fixed to {W,NW,N}.
-type WorkloadSpec struct {
-	Kind string `json:"kind,omitempty"`
-	Seed int64  `json:"seed,omitempty"`
-	// Cells is the inline row-major cost payload of the "cost" kind:
-	// Rows rows of Cols values. Bounded by the server's inline-cell cap.
-	Cells [][]int64 `json:"cells,omitempty"`
-}
+// request (alias of api.WorkloadSpec).
+type WorkloadSpec = api.WorkloadSpec
 
-// SolveResponse is the 200 body of a completed solve.
-type SolveResponse struct {
-	// ID is the scheduler-assigned solve ID, also echoed in the
-	// X-Lddp-Solve-Id header and carried by the solve's trace and
-	// Collector events server-side.
-	ID int64 `json:"id"`
-	// Status is "done".
-	Status string `json:"status"`
-	// Rows, Cols, Mask and Pattern echo the executed instance
-	// (mask normalized to lddp.DepMask.String form).
-	Rows    int    `json:"rows"`
-	Cols    int    `json:"cols"`
-	Mask    string `json:"mask"`
-	Pattern string `json:"pattern"`
-	// Digest is the FNV-1a 64-bit digest of the row-major cell values
-	// (hex), comparable across executors for the same instance.
-	Digest string `json:"digest"`
-	// Cells is the full table, present only when requested and within
-	// the server's response-cell cap.
-	Cells [][]int64 `json:"cells,omitempty"`
-	// Cached reports that the response was served from the server's
-	// result cache (also surfaced as the X-Lddp-Cache header); ID then
-	// names the solve that originally produced the table.
-	Cached bool `json:"cached,omitempty"`
-	// ElapsedMS is the server-side wall time of the solve (submit to
-	// completion, including queue wait). For cached responses it is the
-	// lookup time.
-	ElapsedMS float64 `json:"elapsed_ms"`
-}
+// SolveResponse is the 200 body of a completed solve (alias of
+// api.SolveResponse).
+type SolveResponse = api.SolveResponse
 
-// ErrorBody is the JSON body of every non-2xx solve response.
-type ErrorBody struct {
-	// Status classifies the failure: "invalid" (malformed or out-of-cap
-	// request), "rejected" (admission refused: in-flight limit or queue
-	// full), "draining" (server shutting down), "canceled" (deadline or
-	// disconnect after admission), or "error".
-	Status string `json:"status"`
-	// Error is the human-readable cause.
-	Error string `json:"error"`
-	// ID is the scheduler-assigned solve ID when one was assigned.
-	ID int64 `json:"id,omitempty"`
-	// RetryAfterMS is the server's pushback hint for retryable statuses
-	// (429/503), mirroring the Retry-After header at millisecond
-	// resolution.
-	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
-}
+// ErrorBody is the JSON body of every non-2xx solve response (alias of
+// api.ErrorBody).
+type ErrorBody = api.ErrorBody
+
+// BandRequest is the body of POST /v1/band/solve (alias of
+// api.BandRequest).
+type BandRequest = api.BandRequest
+
+// BandResponse is the 200 body of a completed band solve (alias of
+// api.BandResponse).
+type BandResponse = api.BandResponse
 
 // Workload kind names accepted by the server.
 const (
-	KindMix   = "mix"
-	KindServe = "serve"
-	KindCost  = "cost"
-	KindAlign = "align"
+	KindMix   = api.KindMix
+	KindServe = api.KindServe
+	KindCost  = api.KindCost
+	KindAlign = api.KindAlign
 )
 
 // SolveIDHeader is the response header echoing the scheduler-assigned
-// solve ID (also in the body) so proxies and access logs can correlate
-// requests with server-side traces without parsing bodies.
-const SolveIDHeader = "X-Lddp-Solve-Id"
+// solve ID; see api.SolveIDHeader.
+const SolveIDHeader = api.SolveIDHeader
