@@ -78,24 +78,41 @@ serve-smoke:
 	  rm -f lddpd.bin; \
 	  exit $$rc
 
-# Fleet smoke, two layers. First the in-process recovery proof under the
-# race detector: three lddpd node stacks, one killed mid-solve, the
-# coordinator relocates its blocks and the assembled digest still matches
-# the sequential oracle. Then the real-process run: three lddpd binaries
-# on local ports with the driver band-sharding a batch across them over
-# the binary halo protocol, every fleet digest cross-checked against a
-# single-node solve (-verify is the driver default).
+# Fleet smoke, three layers. First the in-process recovery and trace
+# stitching proofs under the race detector: three lddpd node stacks, one
+# killed mid-solve, the coordinator relocates its blocks and the
+# assembled digest still matches the sequential oracle. Then the
+# real-process run: three lddpd binaries on local ports with per-node
+# -tracedir, the driver band-sharding a batch across them over the
+# binary halo protocol (every fleet digest cross-checked against a
+# single-node solve) while stitching one multi-node timeline per solve;
+# every node's /v1/metrics?format=prometheus scrape must pass the strict
+# exposition checker. Finally the observability gate: lddptrace over a
+# stitched timeline must report per-node lanes, halo spans, and a fleet
+# critical path.
 fleet-smoke:
-	$(GO) test -race -run 'TestFleetKillNodeMidSolve|TestFleetSpreadsWork' -count=1 ./internal/fleet/
+	$(GO) test -race -run 'TestFleetKillNodeMidSolve|TestFleetSpreadsWork|TestFleetTraceStitching' -count=1 ./internal/fleet/
 	$(GO) build -o lddpd.bin ./cmd/lddpd
-	./lddpd.bin -addr 127.0.0.1:18081 -workers 2 & p1=$$!; \
-	  ./lddpd.bin -addr 127.0.0.1:18082 -workers 2 & p2=$$!; \
-	  ./lddpd.bin -addr 127.0.0.1:18083 -workers 2 & p3=$$!; \
-	  $(GO) run ./cmd/lddpserve -fleet http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083 -solves 4 -size 256; \
+	$(GO) build -o lddppromlint.bin ./cmd/lddppromlint
+	$(GO) build -o lddptrace.bin ./cmd/lddptrace
+	rm -rf fleet-traces && mkdir -p fleet-traces/n1 fleet-traces/n2 fleet-traces/n3
+	./lddpd.bin -addr 127.0.0.1:18081 -workers 2 -tracedir fleet-traces/n1 & p1=$$!; \
+	  ./lddpd.bin -addr 127.0.0.1:18082 -workers 2 -tracedir fleet-traces/n2 & p2=$$!; \
+	  ./lddpd.bin -addr 127.0.0.1:18083 -workers 2 -tracedir fleet-traces/n3 & p3=$$!; \
+	  $(GO) run ./cmd/lddpserve -fleet http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083 -solves 4 -size 256 -tracedir fleet-traces; \
 	  rc=$$?; \
+	  for port in 18081 18082 18083; do \
+	    ./lddppromlint.bin -url "http://127.0.0.1:$$port/v1/metrics?format=prometheus" || rc=1; \
+	  done; \
 	  kill -TERM $$p1 $$p2 $$p3; wait $$p1 $$p2 $$p3; \
 	  rm -f lddpd.bin; \
 	  exit $$rc
+	f=$$(ls fleet-traces/fleet-*.json | head -1); \
+	  ./lddptrace.bin $$f | tee fleet_trace_summary.txt
+	grep -q '^node ' fleet_trace_summary.txt
+	grep -q 'halo' fleet_trace_summary.txt
+	grep -q 'fleet critical path' fleet_trace_summary.txt
+	rm -f lddppromlint.bin lddptrace.bin
 
 # Server-mode throughput: the full network stack (codec + HTTP + handler +
 # scheduler) vs direct facade submission, archived as BENCH_server.json.
@@ -140,4 +157,5 @@ conformance:
 	$(GO) test -race -run 'Conformance|Metamorphic' -timeout 10m ./internal/core/ ./internal/sched/
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_server_output.txt trace.json serve_metrics.json lddpd.bin
+	rm -f cover.out test_output.txt bench_output.txt bench_server_output.txt trace.json serve_metrics.json lddpd.bin lddppromlint.bin lddptrace.bin fleet_trace_summary.txt
+	rm -rf fleet-traces

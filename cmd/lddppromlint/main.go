@@ -1,0 +1,96 @@
+// Command lddppromlint validates Prometheus text exposition (format
+// 0.0.4) produced by lddpd's /v1/metrics?format=prometheus. It is the
+// fleet smoke test's scrape checker: stricter than a real scraper, so a
+// formatting regression fails CI instead of silently dropping series.
+//
+// Usage:
+//
+//	lddppromlint metrics.txt            # lint a saved scrape
+//	curl -s $NODE/v1/metrics?format=prometheus | lddppromlint -
+//	lddppromlint -url http://127.0.0.1:8080/v1/metrics?format=prometheus
+//
+// With -url the endpoint is fetched directly (no curl needed). On
+// success it prints one line per input — family and sample counts — and
+// exits 0; any lint problem lists every finding and exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/promlint"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL and lint the response body")
+	flag.Parse()
+	if (*url == "") == (flag.NArg() == 0) {
+		fmt.Fprintln(os.Stderr, "usage: lddppromlint <metrics.txt | -> | lddppromlint -url <endpoint>")
+		os.Exit(2)
+	}
+
+	failed := false
+	if *url != "" {
+		failed = lintOne(*url, fetch(*url))
+	} else {
+		for _, name := range flag.Args() {
+			var in io.ReadCloser = os.Stdin
+			if name != "-" {
+				f, err := os.Open(name)
+				if err != nil {
+					fatal(err)
+				}
+				in = f
+			}
+			if lintOne(name, in) {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lintOne lints one document, reports, and returns whether it failed.
+func lintOne(name string, in io.ReadCloser) bool {
+	defer in.Close()
+	res, err := promlint.Lint(in)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	if len(res.Problems) > 0 {
+		fmt.Fprintf(os.Stderr, "lddppromlint: %s: %d problem(s)\n", name, len(res.Problems))
+		for _, p := range res.Problems {
+			fmt.Fprintf(os.Stderr, "  %s\n", p)
+		}
+		return true
+	}
+	fmt.Printf("%s: ok (%d families, %d samples)\n", name, len(res.Families), res.Samples)
+	return false
+}
+
+// fetch GETs the metrics endpoint and returns its body, failing the
+// process on transport or status errors.
+func fetch(url string) io.ReadCloser {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		resp.Body.Close()
+		fatal(fmt.Errorf("%s: status %s: %s", url, resp.Status, body))
+	}
+	return resp.Body
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lddppromlint:", err)
+	os.Exit(1)
+}

@@ -60,6 +60,7 @@ type options struct {
 	bands     int
 	phaseCols int
 	verify    bool
+	tracedir  string
 }
 
 func main() {
@@ -83,6 +84,7 @@ func main() {
 	flag.IntVar(&opts.bands, "bands", 0, "row bands per fleet solve (0 = one per node; only with -fleet)")
 	flag.IntVar(&opts.phaseCols, "phase-cols", 0, "fleet block phase width in columns (0 = default; only with -fleet)")
 	flag.BoolVar(&opts.verify, "verify", true, "in -fleet mode, cross-check each fleet digest against a single-node solve")
+	flag.StringVar(&opts.tracedir, "tracedir", "", "in -fleet mode, collect node traces and write one stitched fleet timeline per solve into this directory")
 	flag.Parse()
 	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lddpserve:", err)
@@ -393,7 +395,15 @@ func runFleet(opts options, items []workItem, out io.Writer) error {
 		defer c.Close()
 		nodes = append(nodes, c)
 	}
-	coord, err := fleet.New(fleet.Config{Nodes: nodes, Bands: opts.bands, PhaseCols: opts.phaseCols})
+	if opts.tracedir != "" {
+		if err := os.MkdirAll(opts.tracedir, 0o755); err != nil {
+			return err
+		}
+	}
+	coord, err := fleet.New(fleet.Config{
+		Nodes: nodes, Bands: opts.bands, PhaseCols: opts.phaseCols,
+		TraceDir: opts.tracedir,
+	})
 	if err != nil {
 		return err
 	}
@@ -401,6 +411,7 @@ func runFleet(opts options, items []workItem, out io.Writer) error {
 		res         outcome
 		relocations int
 		mismatches  int
+		stitched    int
 		mu          sync.Mutex
 		wg          sync.WaitGroup
 	)
@@ -433,6 +444,9 @@ func runFleet(opts options, items []workItem, out io.Writer) error {
 				res.done++
 				res.cells += it.cells
 				relocations += fres.Stats.Relocations
+				if fres.TracePath != "" {
+					stitched++
+				}
 				if opts.verify && fres.Digest != oracle {
 					mismatches++
 					fmt.Fprintf(os.Stderr, "lddpserve: %s: fleet digest %s != single-node digest %s\n",
@@ -452,6 +466,9 @@ func runFleet(opts options, items []workItem, out io.Writer) error {
 	res.elapsed = time.Since(start)
 	fmt.Fprintf(out, "fleet: %d solves over %d nodes, %d done, %d canceled, %d rejected, %d relocations, %.3gs, %.3g cells/s\n",
 		opts.solves, len(nodes), res.done, res.canceled, res.rejected, relocations, res.elapsed.Seconds(), res.throughput())
+	if opts.tracedir != "" {
+		fmt.Fprintf(out, "fleet: %d stitched timelines in %s\n", stitched, opts.tracedir)
+	}
 	if mismatches > 0 {
 		return fmt.Errorf("%d fleet solves diverged from the single-node oracle", mismatches)
 	}

@@ -12,9 +12,16 @@
 //
 // The input is Chrome trace-event JSON; "-" reads stdin. With -json the
 // full analyzed report is emitted as JSON instead of the text summary.
+//
+// Stitched fleet timelines (written by the fleet coordinator's
+// -tracedir, one process lane per node) are detected by their fleet_id
+// metadata and routed through the fleet analyzer instead: per-node
+// utilization, halo wait/transfer totals, and the fleet critical path
+// through the block DAG.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,14 +49,36 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-
-	meta, events, err := trace.ReadChrome(in)
+	// Buffer the document before parsing: stdin cannot be re-read, and a
+	// fleet trace needs the second (PID-retaining) parse.
+	data, err := io.ReadAll(in)
 	if err != nil {
 		fatal(err)
 	}
-	rep := trace.Analyze(meta, events, *buckets)
 
-	if *jsonOut {
+	doc, err := trace.ReadFleetChrome(bytes.NewReader(data))
+	if err != nil {
+		fatal(err)
+	}
+	if trace.IsFleetDoc(doc.Meta) {
+		emit(trace.AnalyzeFleet(doc), func(w io.Writer, rep *trace.FleetReport) error {
+			return trace.WriteFleetSummary(w, rep)
+		}, *jsonOut)
+		return
+	}
+
+	meta, events, err := trace.ReadChrome(bytes.NewReader(data))
+	if err != nil {
+		fatal(err)
+	}
+	emit(trace.Analyze(meta, events, *buckets), func(w io.Writer, rep *trace.Report) error {
+		return trace.WriteSummary(w, rep)
+	}, *jsonOut)
+}
+
+// emit writes the report as indented JSON or through its text renderer.
+func emit[T any](rep T, text func(io.Writer, T) error, jsonOut bool) {
+	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -57,7 +86,7 @@ func main() {
 		}
 		return
 	}
-	if err := trace.WriteSummary(os.Stdout, rep); err != nil {
+	if err := text(os.Stdout, rep); err != nil {
 		fatal(err)
 	}
 }

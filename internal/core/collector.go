@@ -146,8 +146,13 @@ type SchedEvent struct {
 	QueueDepth int
 	// Active is the number of concurrently executing solves at the event.
 	Active int
-	// Wait is the submission's time in queue; set on SchedStarted and on
-	// SchedRejected for queue-expiry rejections.
+	// Wait carries the event's elapsed-time measurement: on SchedStarted
+	// it is the submission's time in queue (and likewise on synchronous
+	// and queue-expiry rejections, where queued time is all there is); on
+	// the terminal events of an admitted solve (SchedDone, SchedCanceled)
+	// it is the full submit-to-terminal latency. Latency and queue-wait
+	// histograms therefore need no extra bookkeeping beyond observing
+	// Wait per Kind.
 	Wait time.Duration
 	// Cells is the submission's total cell count.
 	Cells int64

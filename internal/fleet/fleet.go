@@ -16,9 +16,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/lddp"
 	"repro/lddp/api"
@@ -97,6 +101,16 @@ type Config struct {
 	// its dependents are released — the fleet test suite's fault
 	// injection point (e.g. kill a node after its first block).
 	OnBlockDone func(band, phase, node int)
+
+	// TraceDir, when non-empty, records a coordinator-side trace of
+	// every fleet solve (one lane per band: halo-wait, round-trip and
+	// halo-transfer spans), fetches each node's block trace dumps
+	// afterwards (GET /v1/trace/{fleetID}), and writes the stitched
+	// multi-process timeline as <TraceDir>/fleet-<fleetID>.json — the
+	// cmd/lddptrace fleet input. Node lanes appear only for nodes that
+	// themselves run with -tracedir; the coordinator lanes never depend
+	// on node support.
+	TraceDir string
 }
 
 // Stats counts one fleet solve's work.
@@ -114,6 +128,13 @@ type Stats struct {
 
 // Result is one assembled fleet solve.
 type Result struct {
+	// FleetID is the coordinator-assigned solve identifier, propagated
+	// to every block as its trace context. TracePath is the stitched
+	// multi-node trace file, written only when the coordinator has a
+	// TraceDir.
+	FleetID   string
+	TracePath string
+
 	Rows, Cols int
 	// Cells is the full table, row-major.
 	Cells []int64
@@ -135,6 +156,16 @@ func (r *Result) At(i, j int) int64 { return r.Cells[i*r.Cols+j] }
 // concurrent use; each Solve builds its own plan and scratch state.
 type Coordinator struct {
 	cfg Config
+	// counters is a pointer so the Handler's per-request ?bands= copy
+	// keeps accumulating into the same totals.
+	counters *counters
+}
+
+// counters are the coordinator's lifetime totals, exported into the
+// metrics snapshot's Fleet section.
+type counters struct {
+	solves, blocks, relocations atomic.Int64
+	haloValues, haloBytes       atomic.Int64
 }
 
 // New validates the config and returns a Coordinator.
@@ -151,7 +182,31 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.MaxBlockAttempts == 0 {
 		cfg.MaxBlockAttempts = 2 * len(cfg.Nodes)
 	}
-	return &Coordinator{cfg: cfg}, nil
+	return &Coordinator{cfg: cfg, counters: &counters{}}, nil
+}
+
+// MetricsSnapshot returns the coordinator's lifetime counters in the
+// metrics snapshot's Fleet shape; cmd/lddpd wires it into the node's
+// /v1/metrics through server.Config.ExtraMetrics.
+func (c *Coordinator) MetricsSnapshot() lddp.FleetSnapshot {
+	return lddp.FleetSnapshot{
+		Solves:      c.counters.solves.Load(),
+		Blocks:      c.counters.blocks.Load(),
+		Relocations: c.counters.relocations.Load(),
+		HaloValues:  c.counters.haloValues.Load(),
+		HaloBytes:   c.counters.haloBytes.Load(),
+	}
+}
+
+// fleetSeq disambiguates fleet IDs minted in the same nanosecond.
+var fleetSeq atomic.Int64
+
+// newFleetID mints a process-unique fleet solve identifier. It is the
+// join key of the whole observability layer: block requests carry it,
+// node trace dumps index under it, and the stitched trace file is named
+// by it.
+func newFleetID() string {
+	return fmt.Sprintf("f%x-%x", time.Now().UnixNano(), fleetSeq.Add(1))
 }
 
 // PlanError is a request the coordinator itself refused before
@@ -256,22 +311,55 @@ func (c *Coordinator) Solve(ctx context.Context, req *api.SolveRequest) (*Result
 		NodeBlocks: make([]int, len(c.cfg.Nodes)),
 	}
 
+	// Every fleet solve gets an ID and propagates it in each block's
+	// trace context — nodes running with -tracedir tag and index their
+	// dumps under it whether or not the coordinator itself records.
+	fleetID := newFleetID()
+	var rec *trace.Recorder
+	if c.cfg.TraceDir != "" {
+		// Coordinator lanes carry ~3 spans per block, so a small ring
+		// suffices; lane k is written only by band k's goroutine,
+		// preserving the recorder's single-owner contract.
+		rec = trace.NewRecorder(4096)
+		lanes := make([]string, len(p.bands))
+		for k := range lanes {
+			lanes[k] = fmt.Sprintf("band %d", k)
+		}
+		rec.SetFleetTag(fleetID, 0, 0)
+		rec.BeginSolve(trace.Meta{
+			Solver: "fleet", Rows: req.Rows, Cols: req.Cols,
+			Fronts: len(p.phases), Workers: len(p.bands),
+			Node: "coordinator", Lanes: lanes,
+		})
+	}
+
 	var wg sync.WaitGroup
 	for k := range p.bands {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			var lane *trace.Lane
+			if rec != nil {
+				lane = rec.Lane(k)
+			}
 			node := k % len(c.cfg.Nodes) // home node; sticky after relocation
 			for ph := range p.phases {
 				if k > 0 {
+					var t0 int64
+					if lane != nil {
+						t0 = lane.Clock()
+					}
 					select {
 					case <-done[k-1][ph]:
 					case <-ctx.Done():
 						return
 					}
+					if lane != nil {
+						lane.SpanLabel(trace.KindHandoff, trace.LabelHaloWait, ph, int64(k-1), 0, t0)
+					}
 				}
 				var err error
-				node, err = c.solveBlock(ctx, req, p, table, k, ph, node, &mu, &stats)
+				node, err = c.solveBlock(ctx, req, p, table, k, ph, node, fleetID, lane, &mu, &stats)
 				if err != nil {
 					fail(fmt.Errorf("fleet: band %d phase %d: %w", k, ph, err))
 					return
@@ -287,19 +375,62 @@ func (c *Coordinator) Solve(ctx context.Context, req *api.SolveRequest) (*Result
 	if err := context.Cause(ctx); err != nil {
 		return nil, err
 	}
-	return &Result{
-		Rows: req.Rows, Cols: req.Cols, Cells: table,
+	c.counters.solves.Add(1)
+	res := &Result{
+		FleetID: fleetID,
+		Rows:    req.Rows, Cols: req.Cols, Cells: table,
 		Digest:    fmt.Sprintf("%016x", wire.CellsDigest(req.Rows, req.Cols, table)),
 		Mask:      p.mask.String(),
 		ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
 		Stats:     stats,
-	}, nil
+	}
+	if rec != nil {
+		rec.EndSolve()
+		res.TracePath = c.stitchTrace(ctx, fleetID, rec)
+	}
+	return res, nil
+}
+
+// stitchTrace fetches every node's block trace dumps for one completed
+// fleet solve and writes the merged multi-process timeline into the
+// coordinator's TraceDir, best-effort: trace collection must never fail
+// the solve it describes. Returns the written path, "" on failure.
+func (c *Coordinator) stitchTrace(ctx context.Context, fleetID string, rec *trace.Recorder) string {
+	// The solve's own deadline may be (nearly) spent; trace collection
+	// gets a short budget of its own instead of inheriting cancellation.
+	fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+	defer cancel()
+	nodes := make([]trace.NodeTrace, len(c.cfg.Nodes))
+	for n, node := range c.cfg.Nodes {
+		nodes[n].FleetID = fleetID
+		nodes[n].Node = node.Base()
+		if nt, err := node.Trace(fctx, fleetID); err == nil {
+			nodes[n].Blocks = nt.Blocks
+		}
+		// A 404 is a node without tracing (or without blocks of this
+		// solve): it keeps its (empty) process lane so PIDs stay aligned
+		// with node indices.
+	}
+	path := filepath.Join(c.cfg.TraceDir, fmt.Sprintf("fleet-%s.json", fleetID))
+	f, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	if err := trace.WriteFleetChrome(f, rec.Meta(), rec.Events(), nodes); err != nil {
+		os.Remove(path)
+		return ""
+	}
+	return path
 }
 
 // solveBlock ships one block to its band's node, relocating on failure,
 // and writes the returned cells into the assembled table. It returns
 // the node that completed the block (the band's node from here on).
-func (c *Coordinator) solveBlock(ctx context.Context, req *api.SolveRequest, p *plan, table []int64, k, ph, node int, mu *sync.Mutex, stats *Stats) (int, error) {
+// When the coordinator records a trace, lane is band k's lane and gets
+// one round-trip span per completed block plus a derived halo-transfer
+// span (round trip minus node-reported compute).
+func (c *Coordinator) solveBlock(ctx context.Context, req *api.SolveRequest, p *plan, table []int64, k, ph, node int, fleetID string, lane *trace.Lane, mu *sync.Mutex, stats *Stats) (int, error) {
 	rows, cols := req.Rows, req.Cols
 	b, col := p.bands[k], p.phases[ph]
 	breq := &api.BandRequest{
@@ -307,6 +438,7 @@ func (c *Coordinator) solveBlock(ctx context.Context, req *api.SolveRequest, p *
 		Row0: b.lo, Row1: b.hi, Col0: col.lo, Col1: col.hi,
 		Mask: req.Mask, Strategy: req.Strategy,
 		Workload: req.Workload, Chunk: req.Chunk,
+		Trace: &api.TraceContext{FleetID: fleetID, Band: k, Phase: ph},
 	}
 	h := api.HaloSpec(p.mask, rows, cols, b.lo, b.hi, col.lo, col.hi)
 	if h.NorthLen > 0 {
@@ -325,13 +457,23 @@ func (c *Coordinator) solveBlock(ctx context.Context, req *api.SolveRequest, p *
 			breq.HaloEast[i] = table[(b.lo+i)*cols+col.hi]
 		}
 	}
+	haloValues := int64(h.NorthLen + h.WestLen + h.EastLen)
+	if haloValues > 0 {
+		c.counters.haloValues.Add(haloValues)
+		c.counters.haloBytes.Add(haloValues * 8)
+	}
 	var last error
 	for attempt := 0; attempt < c.cfg.MaxBlockAttempts; attempt++ {
 		if attempt > 0 {
 			node = (node + 1) % len(c.cfg.Nodes)
+			c.counters.relocations.Add(1)
 			mu.Lock()
 			stats.Relocations++
 			mu.Unlock()
+		}
+		var t0 int64
+		if lane != nil {
+			t0 = lane.Clock()
 		}
 		resp, err := c.cfg.Nodes[node].SolveBand(ctx, breq)
 		if err != nil {
@@ -340,6 +482,17 @@ func (c *Coordinator) solveBlock(ctx context.Context, req *api.SolveRequest, p *
 				return node, last
 			}
 			continue
+		}
+		if lane != nil {
+			rtt := lane.Clock() - t0
+			blockCells := int64(b.hi-b.lo) * int64(col.hi-col.lo)
+			lane.SpanAt(trace.KindPhase, trace.LabelRTT, ph, int64(node), blockCells, t0, rtt)
+			// The halo-transfer span is the round trip minus the node's
+			// own compute time: wire transfer plus coordination overhead,
+			// attributed to the halo payload that crossed it.
+			if over := rtt - int64(resp.ElapsedMS*1e6); over > 0 {
+				lane.SpanAt(trace.KindXferH2D, trace.LabelHaloXfer, ph, haloValues, haloValues*8, t0, over)
+			}
 		}
 		if len(resp.Cells) != b.hi-b.lo {
 			return node, fmt.Errorf("node %d returned %d rows for a %d-row block", node, len(resp.Cells), b.hi-b.lo)
@@ -350,6 +503,7 @@ func (c *Coordinator) solveBlock(ctx context.Context, req *api.SolveRequest, p *
 			}
 			copy(table[(b.lo+i)*cols+col.lo:(b.lo+i)*cols+col.hi], row)
 		}
+		c.counters.blocks.Add(1)
 		mu.Lock()
 		stats.NodeBlocks[node]++
 		mu.Unlock()

@@ -1,0 +1,432 @@
+// Package promlint is a strict checker for the Prometheus text
+// exposition format (version 0.0.4), used by the server's metrics tests
+// and by cmd/lddppromlint in the fleet smoke test. It is deliberately
+// stricter than a Prometheus scraper: every sample must belong to a
+// metric family with a preceding # TYPE line, duplicate series fail,
+// histogram buckets must be cumulative and agree with their _count, and
+// malformed names, labels or values fail instead of being skipped —
+// lddpd produces this output, so any deviation is a bug, not input
+// noise.
+package promlint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Problem is one lint finding.
+type Problem struct {
+	// Line is the 1-based line number; 0 for document-level findings.
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string {
+	if p.Line == 0 {
+		return p.Msg
+	}
+	return fmt.Sprintf("line %d: %s", p.Line, p.Msg)
+}
+
+// Result summarizes a linted document.
+type Result struct {
+	// Families maps metric family name to its declared TYPE.
+	Families map[string]string
+	// Samples counts sample lines.
+	Samples int
+	// Problems lists every finding; empty means the document passed.
+	Problems []Problem
+}
+
+// Err folds the problems into a single error, nil when clean.
+func (r *Result) Err() error {
+	if len(r.Problems) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(r.Problems))
+	for i, p := range r.Problems {
+		msgs[i] = p.String()
+	}
+	return fmt.Errorf("promlint: %d problem(s):\n  %s", len(r.Problems), strings.Join(msgs, "\n  "))
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+type series struct {
+	line   int
+	family string
+	labels string // canonical sorted label rendering
+	le     string // value of the le label, histograms only
+	value  float64
+}
+
+// Lint checks one exposition document.
+func Lint(r io.Reader) (*Result, error) {
+	res := &Result{Families: map[string]string{}}
+	helps := map[string]bool{}
+	var samples []series
+	seen := map[string]int{} // family + canonical labels -> first line
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			lintComment(res, helps, n, line)
+			continue
+		}
+		s, ok := lintSample(res, n, line)
+		if !ok {
+			continue
+		}
+		family := sampleFamily(res.Families, s.family)
+		if res.Families[family] == "" {
+			res.add(n, fmt.Sprintf("sample %q precedes its # TYPE line (or the family was never declared)", s.family))
+		}
+		key := s.family + "{" + s.labels + "}"
+		if first, dup := seen[key]; dup {
+			res.add(n, fmt.Sprintf("duplicate series %s (first at line %d)", key, first))
+		} else {
+			seen[key] = n
+		}
+		s.line = n
+		samples = append(samples, s)
+		res.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		res.add(0, "empty document")
+	}
+	lintHistograms(res, samples)
+	return res, nil
+}
+
+func (r *Result) add(line int, msg string) {
+	r.Problems = append(r.Problems, Problem{Line: line, Msg: msg})
+}
+
+func lintComment(res *Result, helps map[string]bool, n int, line string) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		// "#..." without a space is a plain comment; the format allows it.
+		return
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			res.add(n, "malformed # TYPE line (want \"# TYPE <name> <type>\")")
+			return
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			res.add(n, fmt.Sprintf("invalid metric name %q in # TYPE", name))
+		}
+		if !validTypes[typ] {
+			res.add(n, fmt.Sprintf("invalid metric type %q for %q", typ, name))
+		}
+		if _, dup := res.Families[name]; dup {
+			res.add(n, fmt.Sprintf("duplicate # TYPE for %q", name))
+			return
+		}
+		res.Families[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			res.add(n, "malformed # HELP line (want \"# HELP <name> <text>\")")
+			return
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			res.add(n, fmt.Sprintf("invalid metric name %q in # HELP", name))
+		}
+		if helps[name] {
+			res.add(n, fmt.Sprintf("duplicate # HELP for %q", name))
+		}
+		helps[name] = true
+	}
+}
+
+// lintSample parses one sample line: name[{labels}] value [timestamp].
+func lintSample(res *Result, n int, line string) (series, bool) {
+	var s series
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		res.add(n, fmt.Sprintf("malformed sample line %q", line))
+		return s, false
+	}
+	s.family = rest[:i]
+	if !validMetricName(s.family) {
+		res.add(n, fmt.Sprintf("invalid metric name %q", s.family))
+		return s, false
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			res.add(n, fmt.Sprintf("unterminated label set in %q", line))
+			return s, false
+		}
+		labels, ok := lintLabels(res, n, rest[1:end])
+		if !ok {
+			return s, false
+		}
+		pairs := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				s.le = v
+			}
+			pairs = append(pairs, k+"="+strconv.Quote(v))
+		}
+		sort.Strings(pairs)
+		s.labels = strings.Join(pairs, ",")
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		res.add(n, fmt.Sprintf("want \"value [timestamp]\" after metric in %q", line))
+		return s, false
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		res.add(n, fmt.Sprintf("invalid sample value %q: %v", fields[0], err))
+		return s, false
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			res.add(n, fmt.Sprintf("invalid timestamp %q", fields[1]))
+			return s, false
+		}
+	}
+	return s, true
+}
+
+// lintLabels parses `k="v",k2="v2"` strictly (quoted values, \\ \" \n
+// escapes only).
+func lintLabels(res *Result, n int, body string) (map[string]string, bool) {
+	labels := map[string]string{}
+	for body != "" {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			res.add(n, fmt.Sprintf("malformed label pair near %q", body))
+			return nil, false
+		}
+		name := body[:eq]
+		if !validLabelName(name) {
+			res.add(n, fmt.Sprintf("invalid label name %q", name))
+			return nil, false
+		}
+		if _, dup := labels[name]; dup {
+			res.add(n, fmt.Sprintf("duplicate label %q", name))
+			return nil, false
+		}
+		body = body[eq+1:]
+		if body == "" || body[0] != '"' {
+			res.add(n, fmt.Sprintf("label %q value must be quoted", name))
+			return nil, false
+		}
+		val, rest, ok := scanQuoted(body)
+		if !ok {
+			res.add(n, fmt.Sprintf("bad quoted value for label %q", name))
+			return nil, false
+		}
+		labels[name] = val
+		body = rest
+		if body != "" {
+			if body[0] != ',' {
+				res.add(n, fmt.Sprintf("want ',' between labels, got %q", body))
+				return nil, false
+			}
+			body = body[1:]
+		}
+	}
+	return labels, true
+}
+
+// scanQuoted consumes a leading quoted string with the exposition
+// format's three escapes and returns its value and the remainder.
+func scanQuoted(s string) (val, rest string, ok bool) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", false
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", false
+			}
+		case '"':
+			return b.String(), s[i+1:], true
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", false
+}
+
+// parsePromValue parses a Prometheus sample value (Go float syntax plus
+// +Inf/-Inf/NaN).
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// sampleFamily maps a sample name to its metric family: histogram and
+// summary samples append _bucket/_sum/_count to the declared family
+// name.
+func sampleFamily(families map[string]string, name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if t := families[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// lintHistograms checks every histogram family: le labels parse, bucket
+// counts are cumulative (non-decreasing in le order), a +Inf bucket
+// exists, and _count equals it.
+func lintHistograms(res *Result, samples []series) {
+	type hist struct {
+		buckets []series
+		count   *series
+		line    int
+	}
+	hists := map[string]*hist{}
+	famOf := func(s series) (string, string) {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(s.family, suffix); base != s.family {
+				return base, suffix
+			}
+		}
+		return s.family, ""
+	}
+	for _, s := range samples {
+		base, suffix := famOf(s)
+		if res.Families[base] != "histogram" {
+			continue
+		}
+		h := hists[base]
+		if h == nil {
+			h = &hist{line: s.line}
+			hists[base] = h
+		}
+		switch suffix {
+		case "_bucket":
+			h.buckets = append(h.buckets, s)
+		case "_count":
+			c := s
+			h.count = &c
+		}
+	}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := hists[name]
+		var inf *series
+		bounds := make([]float64, len(h.buckets))
+		for i, b := range h.buckets {
+			if b.le == "" {
+				res.add(b.line, fmt.Sprintf("histogram %s bucket without le label", name))
+				continue
+			}
+			v, err := parsePromValue(b.le)
+			if err != nil {
+				res.add(b.line, fmt.Sprintf("histogram %s le=%q does not parse", name, b.le))
+				continue
+			}
+			bounds[i] = v
+			if math.IsInf(v, 1) {
+				b := h.buckets[i]
+				inf = &b
+			}
+		}
+		for i := 1; i < len(h.buckets); i++ {
+			if bounds[i] < bounds[i-1] {
+				res.add(h.buckets[i].line, fmt.Sprintf("histogram %s buckets out of le order", name))
+			}
+			if h.buckets[i].value < h.buckets[i-1].value {
+				res.add(h.buckets[i].line, fmt.Sprintf("histogram %s bucket counts not cumulative", name))
+			}
+		}
+		if inf == nil {
+			res.add(h.line, fmt.Sprintf("histogram %s missing le=\"+Inf\" bucket", name))
+			continue
+		}
+		if h.count == nil {
+			res.add(h.line, fmt.Sprintf("histogram %s missing _count", name))
+		} else if h.count.value != inf.value {
+			res.add(h.count.line, fmt.Sprintf("histogram %s _count %v != +Inf bucket %v", name, h.count.value, inf.value))
+		}
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

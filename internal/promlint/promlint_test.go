@@ -1,0 +1,115 @@
+package promlint
+
+import (
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, doc string) *Result {
+	t.Helper()
+	res, err := Lint(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	return res
+}
+
+func TestLintClean(t *testing.T) {
+	doc := `# HELP lddpd_solves_total Completed solves.
+# TYPE lddpd_solves_total counter
+lddpd_solves_total 4
+# HELP lddpd_wire_requests_total Requests per codec.
+# TYPE lddpd_wire_requests_total counter
+lddpd_wire_requests_total{codec="json"} 1
+lddpd_wire_requests_total{codec="binary"} 3
+# HELP lddpd_queue_wait_seconds Queue wait.
+# TYPE lddpd_queue_wait_seconds histogram
+lddpd_queue_wait_seconds_bucket{le="0.001"} 2
+lddpd_queue_wait_seconds_bucket{le="1"} 3
+lddpd_queue_wait_seconds_bucket{le="+Inf"} 4
+lddpd_queue_wait_seconds_sum 2.5
+lddpd_queue_wait_seconds_count 4
+# HELP lddpd_inflight_solves In-flight solves.
+# TYPE lddpd_inflight_solves gauge
+lddpd_inflight_solves 0
+`
+	res := lint(t, doc)
+	if err := res.Err(); err != nil {
+		t.Fatalf("clean document flagged: %v", err)
+	}
+	if res.Samples != 9 {
+		t.Fatalf("Samples = %d, want 9", res.Samples)
+	}
+	if res.Families["lddpd_queue_wait_seconds"] != "histogram" {
+		t.Fatalf("family types = %v", res.Families)
+	}
+}
+
+func TestLintFindings(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"duplicate series",
+			"# TYPE a counter\na 1\na 2\n",
+			"duplicate series"},
+		{"duplicate series with labels",
+			"# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n",
+			"duplicate series"},
+		{"missing TYPE",
+			"a 1\n",
+			"precedes its # TYPE"},
+		{"duplicate TYPE",
+			"# TYPE a counter\n# TYPE a counter\na 1\n",
+			"duplicate # TYPE"},
+		{"bad type name",
+			"# TYPE a histo\na 1\n",
+			"invalid metric type"},
+		{"bad metric name",
+			"# TYPE a counter\n0a 1\n",
+			"invalid metric name"},
+		{"bad value",
+			"# TYPE a counter\na x\n",
+			"invalid sample value"},
+		{"unquoted label",
+			"# TYPE a counter\na{x=1} 1\n",
+			"must be quoted"},
+		{"reserved label name",
+			"# TYPE a counter\na{__x=\"1\"} 1\n",
+			"invalid label name"},
+		{"bucket order",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"out of le order"},
+		{"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative"},
+		{"missing inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			"missing le=\"+Inf\""},
+		{"count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+			"_count 4 != +Inf bucket 5"},
+		{"empty", "", "empty document"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := lint(t, tc.doc)
+			err := res.Err()
+			if err == nil {
+				t.Fatalf("document passed, want %q finding", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("findings = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLintEscapes(t *testing.T) {
+	res := lint(t, "# TYPE a counter\na{x=\"q\\\"uo\\\\te\\n\"} 1\n")
+	if err := res.Err(); err != nil {
+		t.Fatalf("escaped labels flagged: %v", err)
+	}
+	if res2 := lint(t, "# TYPE a counter\na{x=\"bad\\q\"} 1\n"); res2.Err() == nil {
+		t.Fatal("invalid escape passed")
+	}
+}

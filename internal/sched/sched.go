@@ -585,6 +585,10 @@ func (s *Scheduler) finalizeLocked(j *job, err error) {
 			j.tracer.EndSolve()
 		}
 	}
+	// The terminal event's Wait is the full submit-to-terminal latency
+	// (j.enq is the Submit timestamp) — SchedCollectors derive their
+	// solve-latency histograms from exactly this value, so it must stay
+	// the end-to-end elapsed, not the queued portion.
 	s.schedEventLocked(j, kind, time.Since(j.enq))
 	close(j.done)
 	s.cond.Broadcast()

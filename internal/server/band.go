@@ -233,8 +233,12 @@ func (s *Server) handleBandSolve(w http.ResponseWriter, r *http.Request) {
 		<-s.inflight
 	}()
 
+	w = &countingResponseWriter{ResponseWriter: w, n: &s.wireStats.responseBytes}
 	neg := negotiate(r)
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	r.Body = &countingReader{
+		r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes),
+		n: &s.wireStats.requestBytes,
+	}
 	var req *api.BandRequest
 	var err error
 	if neg.binaryRequest {
@@ -255,6 +259,10 @@ func (s *Server) handleBandSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "invalid", 0, err.Error())
 		return
+	}
+	if n := len(req.HaloNorth) + len(req.HaloWest) + len(req.HaloEast); n > 0 {
+		s.wireStats.haloValues.Add(int64(n))
+		s.wireStats.haloBytes.Add(int64(n) * 8)
 	}
 	base, err := BuildProblem(&api.SolveRequest{
 		Rows: req.Rows, Cols: req.Cols, Mask: req.Mask, Workload: req.Workload,
@@ -279,6 +287,17 @@ func (s *Server) handleBandSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Chunk > 0 {
 		opts = append(opts, lddp.WithChunk(req.Chunk))
 	}
+	var tracer *lddp.Tracer
+	if s.cfg.TraceDir != "" {
+		tracer = lddp.NewTracer()
+		if req.Trace != nil {
+			// The fleet tag rides every export of this trace, which is
+			// what lets GET /v1/trace/{fleetID} and the coordinator's
+			// stitcher attribute the block to its originating solve.
+			tracer.SetFleetTag(req.Trace.FleetID, req.Trace.Band, req.Trace.Phase)
+		}
+		opts = append(opts, lddp.WithTracer(tracer))
+	}
 	sub, err := lddp.Submit(ctx, s.sched, block, opts...)
 	if err != nil {
 		s.writeSubmitError(w, r, err)
@@ -286,6 +305,14 @@ func (s *Server) handleBandSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	id := sub.ID()
 	grid, err := sub.Wait()
+	if tracer != nil {
+		path := s.writeTraceFile(id, tracer)
+		if path != "" && req.Trace != nil && s.traces != nil {
+			s.traces.add(req.Trace.FleetID, blockRef{
+				solveID: id, band: req.Trace.Band, phase: req.Trace.Phase, path: path,
+			})
+		}
+	}
 	if err != nil {
 		s.writeOutcomeError(w, r, id, err)
 		return

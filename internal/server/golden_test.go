@@ -48,6 +48,7 @@ var goldenDocs = []struct {
 		Chunk:     128, DeadlineMS: 2500,
 		HaloNorth: []int64{9, 8, 7}, NorthLo: 7,
 		HaloWest:  []int64{1, 2}, HaloEast: []int64{3, 4},
+		Trace:     &api.TraceContext{FleetID: "f1a2b3-4", Band: 1, Phase: 2},
 	}},
 	{"band_response", api.BandResponse{
 		ID: 11, Status: "done", Row0: 16, Row1: 32, Col0: 8, Col1: 24,

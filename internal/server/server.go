@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -62,6 +63,13 @@ type Config struct {
 	// Metrics receives the scheduler's Collector and SchedCollector
 	// streams and backs GET /metrics. Nil allocates a fresh one.
 	Metrics *lddp.Metrics
+
+	// ExtraMetrics, when non-nil, runs at /metrics scrape time to fill
+	// snapshot sections owned outside the server — the fleet
+	// coordinator's counters on nodes running one (cmd/lddpd wires
+	// fleet.Handler's snapshot through here, keeping the server free of
+	// a fleet dependency).
+	ExtraMetrics func(*lddp.MetricsSnapshot)
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -106,6 +114,10 @@ type Server struct {
 	active    atomic.Int64  // solve requests currently inside the handler
 	draining  atomic.Bool
 	wireStats wireStats
+
+	traces       *traceIndex // nil when TraceDir is empty
+	traceSolves  atomic.Int64
+	traceDropped atomic.Int64
 }
 
 // wireStats counts request/response codec traffic for the metrics
@@ -116,6 +128,10 @@ type wireStats struct {
 	jsonResponses   atomic.Int64
 	binaryResponses atomic.Int64
 	binaryRejects   atomic.Int64
+	requestBytes    atomic.Int64
+	responseBytes   atomic.Int64
+	haloValues      atomic.Int64
+	haloBytes       atomic.Int64
 }
 
 func (ws *wireStats) snapshot() lddp.WireSnapshot {
@@ -125,6 +141,50 @@ func (ws *wireStats) snapshot() lddp.WireSnapshot {
 		JSONResponses:   ws.jsonResponses.Load(),
 		BinaryResponses: ws.binaryResponses.Load(),
 		BinaryRejects:   ws.binaryRejects.Load(),
+		RequestBytes:    ws.requestBytes.Load(),
+		ResponseBytes:   ws.responseBytes.Load(),
+		HaloValues:      ws.haloValues.Load(),
+		HaloBytes:       ws.haloBytes.Load(),
+	}
+}
+
+// countingReader counts body bytes actually consumed into a wireStats
+// counter; it wraps the (already size-capped) request body.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingReader) Close() error {
+	if rc, ok := c.r.(io.Closer); ok {
+		return rc.Close()
+	}
+	return nil
+}
+
+// countingResponseWriter counts response body bytes written. It
+// forwards Flush so the binary band encoder's chunk flushing keeps
+// working through the wrapper.
+type countingResponseWriter struct {
+	http.ResponseWriter
+	n *atomic.Int64
+}
+
+func (c *countingResponseWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingResponseWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
 	}
 }
 
@@ -149,12 +209,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 4 * s.Config().Workers
 	}
-	return &Server{
+	srv := &Server{
 		cfg:      cfg,
 		sched:    s,
 		cache:    newResultCache(cfg.CacheBytes),
 		inflight: make(chan struct{}, cfg.MaxInflight),
-	}, nil
+	}
+	if cfg.TraceDir != "" {
+		srv.traces = newTraceIndex()
+	}
+	return srv, nil
 }
 
 // CacheStats returns the result cache's counters (all-zero when the
@@ -172,7 +236,9 @@ func (s *Server) Metrics() *lddp.Metrics { return s.cfg.Metrics }
 
 // Handler returns the service mux. Every endpoint lives under the /v1
 // prefix — POST /v1/solve, POST /v1/band/solve, GET /v1/healthz,
-// GET /v1/readyz, GET /v1/metrics — with the pre-versioning operational
+// GET /v1/readyz, GET /v1/metrics (JSON by default,
+// ?format=prometheus for text exposition), GET /v1/trace/{fleetID} —
+// with the pre-versioning operational
 // paths (/healthz, /readyz, /metrics) kept as aliases so existing
 // probes and scrapers keep working. Unknown paths answer a JSON
 // ErrorBody 404, not the text/plain default: every consumer of this
@@ -185,6 +251,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -251,14 +318,37 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// handleMetrics serves the metrics snapshot, compact (a scrape endpoint
-// is machine-read; pretty-printing every scrape re-buys the indent cost
-// for nothing — pipe through jq to eyeball it) and extended at scrape
-// time with the cache and codec counters that live server-side.
+// handleMetrics serves the metrics snapshot: compact JSON by default (a
+// scrape endpoint is machine-read; pretty-printing every scrape re-buys
+// the indent cost for nothing — pipe through jq to eyeball it),
+// Prometheus text exposition under ?format=prometheus. Both render the
+// same snapshot, extended at scrape time with the sections that live
+// server-side (cache, codec counters, process gauges, and — through the
+// ExtraMetrics hook — the fleet coordinator's). Snapshot copies under
+// the Metrics mutex and marshals outside it, so a slow scraper never
+// holds up the scheduler's event stream.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.cfg.Metrics.Snapshot()
 	snap.Cache = s.cache.stats()
 	snap.Wire = s.wireStats.snapshot()
+	snap.Server = lddp.ServerSnapshot{
+		InflightSolves:     s.active.Load(),
+		TraceDroppedEvents: s.traceDropped.Load(),
+		TraceSolves:        s.traceSolves.Load(),
+	}
+	if s.draining.Load() {
+		snap.Server.Draining = 1
+	}
+	if s.traces != nil {
+		snap.Server.TraceFleets = int64(s.traces.size())
+	}
+	if s.cfg.ExtraMetrics != nil {
+		s.cfg.ExtraMetrics(&snap)
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.writePromMetrics(w, &snap)
+		return
+	}
 	doc, err := json.Marshal(snap)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -329,8 +419,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		<-s.inflight
 	}()
 
+	w = &countingResponseWriter{ResponseWriter: w, n: &s.wireStats.responseBytes}
 	neg := negotiate(r)
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	r.Body = &countingReader{
+		r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes),
+		n: &s.wireStats.requestBytes,
+	}
 	var req *api.SolveRequest
 	var err error
 	releaseInline := func() {}
@@ -524,13 +618,22 @@ func (s *Server) writeTimeout(w http.ResponseWriter, r *http.Request, id int64, 
 }
 
 // writeTraceFile persists one solve's trace, best-effort: a full disk or
-// bad TraceDir must not fail the solve that produced the trace.
-func (s *Server) writeTraceFile(id int64, tracer *lddp.Tracer) {
+// bad TraceDir must not fail the solve that produced the trace. It also
+// feeds the trace-loss counter — ring overwrites are invisible in the
+// file itself until an analysis comes up short, so they surface in the
+// metrics snapshot instead. Returns the file path ("" when nothing was
+// written) so band solves can index it under their fleet ID.
+func (s *Server) writeTraceFile(id int64, tracer *lddp.Tracer) string {
+	s.traceDropped.Add(tracer.Dropped())
 	path := filepath.Join(s.cfg.TraceDir, fmt.Sprintf("solve-%d.json", id))
 	f, err := os.Create(path)
 	if err != nil {
-		return
+		return ""
 	}
 	defer f.Close()
-	lddp.WriteTrace(f, tracer)
+	if err := lddp.WriteTrace(f, tracer); err != nil {
+		return ""
+	}
+	s.traceSolves.Add(1)
+	return path
 }

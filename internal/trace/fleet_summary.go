@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// maxFleetSteps bounds the critical-path steps the text summary prints;
+// longer paths keep their totals but elide the middle.
+const maxFleetSteps = 12
+
+// WriteFleetSummary renders an analyzed fleet report as plain text: the
+// fleet header, per-node process lanes, the halo wait/transfer totals,
+// and the fleet critical path naming the dominant node and phase. The
+// line vocabulary ("node N ...", "halo: ...", "fleet critical path:
+// ...") is load-bearing: the fleet smoke test greps for it.
+func WriteFleetSummary(w io.Writer, rep *FleetReport) error {
+	m := rep.Meta
+	if _, err := fmt.Fprintf(w,
+		"fleet trace: fleet=%s table=%dx%d bands=%d phases=%d blocks=%d span=%s\n",
+		orDash(m.FleetID), m.Rows, m.Cols, rep.Bands, rep.Phases, rep.Blocks,
+		formatDuration(time.Duration(rep.SpanNS))); err != nil {
+		return err
+	}
+	if rep.Blocks == 0 {
+		_, err := fmt.Fprintln(w, "(no coordinator round-trip spans; was this trace stitched by a fleet coordinator?)")
+		return err
+	}
+	fmt.Fprintf(w, "coordinator: rtt=%s over %d blocks (mean %s/block) halo-wait=%s halo-xfer=%s\n",
+		formatDuration(time.Duration(rep.RTTNS)), rep.Blocks,
+		formatDuration(time.Duration(rep.RTTNS/int64(rep.Blocks))),
+		formatDuration(time.Duration(rep.HaloWaitNS)),
+		formatDuration(time.Duration(rep.HaloXferNS)))
+	fmt.Fprintf(w, "halo: values=%d bytes=%d\n", rep.HaloCells, rep.HaloBytes)
+
+	for _, n := range rep.Nodes {
+		if n.PID == 0 {
+			continue // the coordinator's lanes are the rtt/halo lines above
+		}
+		fmt.Fprintf(w, "node %d %s: busy=%s util=%.0f%% lanes=%d blocks=%d rtt=%s events=%d\n",
+			n.PID-1, orDash(n.Name), formatDuration(time.Duration(n.BusyNS)),
+			100*n.Util, n.Lanes, n.Blocks,
+			formatDuration(time.Duration(n.RTTNS)), n.Events)
+	}
+
+	cr := rep.Critical
+	fmt.Fprintf(w, "fleet critical path: steps=%d rtt=%s halo-wait=%s dominant=%s\n",
+		len(cr.Steps),
+		formatDuration(time.Duration(cr.RTTNS)),
+		formatDuration(time.Duration(cr.WaitNS)),
+		cr.DominantKind)
+	if cr.DominantNode >= 0 {
+		name := ""
+		for _, n := range rep.Nodes {
+			if n.PID == cr.DominantNode+1 {
+				name = n.Name
+			}
+		}
+		pathNS := cr.RTTNS + cr.WaitNS
+		share := 0.0
+		if pathNS > 0 {
+			share = 100 * float64(cr.DominantNodeNS) / float64(pathNS)
+		}
+		fmt.Fprintf(w, "  dominant node=%d %s (%s, %.0f%% of path) dominant phase=%d (%s)\n",
+			cr.DominantNode, orDash(name),
+			formatDuration(time.Duration(cr.DominantNodeNS)), share,
+			cr.DominantPhase, formatDuration(time.Duration(cr.DominantPhaseNS)))
+	}
+	steps := cr.Steps
+	elided := 0
+	if len(steps) > maxFleetSteps {
+		elided = len(steps) - maxFleetSteps
+		steps = steps[:maxFleetSteps]
+	}
+	for _, s := range steps {
+		fmt.Fprintf(w, "  band %-4d phase %-4d node=%-3d rtt=%-10s wait=%s\n",
+			s.Band, s.Phase, s.Node,
+			formatDuration(time.Duration(s.RTTNS)),
+			formatDuration(time.Duration(s.WaitNS)))
+	}
+	if elided > 0 {
+		fmt.Fprintf(w, "  ... %d more steps\n", elided)
+	}
+	return nil
+}

@@ -37,6 +37,21 @@ type Meta struct {
 	// Dropped counts events lost to ring overflow across all lanes
 	// (filled in at export time).
 	Dropped int64 `json:"dropped,omitempty"`
+
+	// FleetID, Band and Phase tag a trace recorded for one block of a
+	// band-sharded fleet solve with its originating solve and block
+	// coordinates; empty/zero for standalone solves. Node names the
+	// recording process in a stitched multi-node timeline (the node's
+	// base URL, or "coordinator").
+	FleetID string `json:"fleet_id,omitempty"`
+	Band    int    `json:"band,omitempty"`
+	Phase   int    `json:"phase,omitempty"`
+	Node    string `json:"node,omitempty"`
+	// EpochUnixNS is the recorder's epoch on the wall clock (UnixNano).
+	// Event timestamps are relative to the epoch, so this is what lets a
+	// stitcher align traces recorded on different machines onto one
+	// wall-clock axis (modulo clock skew between the hosts).
+	EpochUnixNS int64 `json:"epoch_unix_ns,omitempty"`
 }
 
 // Recorder is a low-overhead event recorder for the native runtime: one
@@ -61,6 +76,12 @@ type Recorder struct {
 	laneCap    int
 	meta       Meta
 	solveStart int64
+
+	// Fleet tags are stored beside meta, not in it: BeginSolve replaces
+	// meta wholesale (the scheduler owns that call), and the tags are set
+	// by the server before the solve is submitted.
+	fleetID     string
+	band, phase int
 }
 
 // Lane is one worker's private event ring. Emissions are not
@@ -116,12 +137,29 @@ func (r *Recorder) EndSolve() {
 	})
 }
 
-// Meta returns the most recent solve description.
+// Meta returns the most recent solve description, with the recorder's
+// fleet tags and wall-clock epoch merged in.
 func (r *Recorder) Meta() Meta {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.meta
+	m := r.meta
+	m.FleetID, m.Band, m.Phase = r.fleetID, r.band, r.phase
+	m.EpochUnixNS = r.epoch.UnixNano()
+	return m
 }
+
+// SetFleetTag marks every export of this recorder as belonging to block
+// (band, phase) of the named fleet solve. The tags survive BeginSolve,
+// which replaces the solve meta wholesale.
+func (r *Recorder) SetFleetTag(fleetID string, band, phase int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fleetID, r.band, r.phase = fleetID, band, phase
+}
+
+// Epoch returns the recorder's construction time — the zero point of
+// every event timestamp.
+func (r *Recorder) Epoch() time.Time { return r.epoch }
 
 // Lane returns worker w's lane, creating lanes as needed. Callers fetch
 // their lane once per solve, not per event.
@@ -223,6 +261,14 @@ func (l *Lane) Span(k Kind, front int, a, b, startNS int64) {
 // SpanLabel is Span carrying a (static) label.
 func (l *Lane) SpanLabel(k Kind, label string, front int, a, b, startNS int64) {
 	l.put(Event{TS: startNS, Dur: l.now() - startNS, A: a, B: b, Front: int32(front), Kind: k, Label: label})
+}
+
+// SpanAt records a fully explicit span — caller-supplied start and
+// duration on the lane clock — for spans whose extent is derived rather
+// than measured, like the fleet coordinator's halo-transfer overhead
+// (block round trip minus node-reported compute).
+func (l *Lane) SpanAt(k Kind, label string, front int, a, b, startNS, durNS int64) {
+	l.put(Event{TS: startNS, Dur: durNS, A: a, B: b, Front: int32(front), Kind: k, Label: label})
 }
 
 // Instant records a zero-duration event at the current time.

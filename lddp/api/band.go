@@ -69,6 +69,12 @@ type BandRequest struct {
 	Chunk      int          `json:"chunk,omitempty"`
 	DeadlineMS int64        `json:"deadline_ms,omitempty"`
 
+	// Trace identifies the originating fleet solve for cross-node trace
+	// stitching; absent on standalone band requests. In the binary frame
+	// encoding it rides the JSON frame header like every other field, so
+	// propagating it costs no wire-format change.
+	Trace *TraceContext `json:"trace,omitempty"`
+
 	// HaloNorth carries full-table row Row0-1 over global columns
 	// [NorthLo, NorthLo+len), exactly the span HaloSpec requires for the
 	// mask. Present only when the mask reads the row above (NW/N/NE) and
@@ -84,6 +90,19 @@ type BandRequest struct {
 	// right-to-left phase pipeline supplies it from the block already
 	// solved to the east.
 	HaloEast []int64 `json:"halo_east,omitempty"`
+}
+
+// TraceContext ties one band request to the fleet solve that issued it,
+// so the executing node can tag its trace events with the originating
+// solve and the coordinator can collect them back into one timeline
+// (GET /v1/trace/{fleet_id}).
+type TraceContext struct {
+	// FleetID is the coordinator-assigned fleet solve identifier.
+	FleetID string `json:"fleet_id"`
+	// Band is the row-band index of the block; Phase its column-phase
+	// processing index.
+	Band  int `json:"band"`
+	Phase int `json:"phase"`
 }
 
 // BandResponse is the 200 body of a completed band solve.

@@ -8,11 +8,13 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/lddp"
 )
 
@@ -323,6 +325,35 @@ func (c *Client) Metrics(ctx context.Context) (*lddp.MetricsSnapshot, error) {
 	}
 	return &snap, nil
 }
+
+// Trace fetches the node's block trace dumps for one fleet solve
+// (GET /v1/trace/{fleetID}). A node that recorded nothing for the solve
+// — tracing disabled, or the blocks all ran elsewhere — answers 404,
+// which surfaces as an *APIError; fleet-side callers treat that as "no
+// lanes from this node", not a failure.
+func (c *Client) Trace(ctx context.Context, fleetID string) (*trace.NodeTrace, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/trace/"+url.PathEscape(fleetID), nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("lddp client: %w", err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeError(hresp)
+	}
+	var nt trace.NodeTrace
+	if err := json.NewDecoder(io.LimitReader(hresp.Body, 64<<20)).Decode(&nt); err != nil {
+		return nil, fmt.Errorf("lddp client: decoding trace: %w", err)
+	}
+	return &nt, nil
+}
+
+// Base returns the client's base URL — fleet-side observability labels
+// nodes with it (trace process lanes, relocation logs).
+func (c *Client) Base() string { return c.base }
 
 func (c *Client) getOK(ctx context.Context, path string) error {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)

@@ -67,6 +67,47 @@ type MetricsSnapshot struct {
 	// Wire reports the lddpd codec counters (JSON vs binary frame
 	// traffic) when the snapshot comes from /metrics; zero elsewhere.
 	Wire WireSnapshot `json:"wire,omitzero"`
+
+	// Server reports lddpd process-level gauges (in-flight solves, drain
+	// state, trace-ring drops) filled at /metrics scrape time; zero
+	// elsewhere.
+	Server ServerSnapshot `json:"server,omitzero"`
+
+	// Fleet reports the fleet coordinator's counters on nodes running
+	// one (-peers); zero elsewhere.
+	Fleet FleetSnapshot `json:"fleet,omitzero"`
+}
+
+// ServerSnapshot is the lddpd process section of a server metrics
+// snapshot.
+type ServerSnapshot struct {
+	// InflightSolves is the number of requests currently holding an
+	// admission slot; Draining is 1 once drain began, else 0.
+	InflightSolves int64 `json:"inflight_solves"`
+	Draining       int64 `json:"draining"`
+	// TraceDroppedEvents totals trace-ring overwrites across every
+	// traced solve on this node — non-zero means timelines are missing
+	// their oldest events and -tracedir analysis is partial.
+	TraceDroppedEvents int64 `json:"trace_dropped_events"`
+	// TraceSolves counts trace files written; TraceFleets the fleet
+	// solves currently indexed for GET /v1/trace/{fleetID}.
+	TraceSolves int64 `json:"trace_solves"`
+	TraceFleets int64 `json:"trace_fleets"`
+}
+
+// FleetSnapshot is the band-fleet coordinator section of a server
+// metrics snapshot.
+type FleetSnapshot struct {
+	// Solves counts completed fleet solves; Blocks the block round trips
+	// they issued; Relocations the blocks retried on a different node
+	// after a relocatable failure.
+	Solves      int64 `json:"solves"`
+	Blocks      int64 `json:"blocks"`
+	Relocations int64 `json:"relocations"`
+	// HaloValues and HaloBytes total the halo values sliced into band
+	// requests and their encoded volume (8 bytes per value).
+	HaloValues int64 `json:"halo_values"`
+	HaloBytes  int64 `json:"halo_bytes"`
 }
 
 // CacheSnapshot is the lddpd result-cache section of a server metrics
@@ -100,6 +141,15 @@ type WireSnapshot struct {
 	// BinaryRejects counts binary request bodies the frame decoder
 	// refused (truncated, wrong version, digest mismatch).
 	BinaryRejects int64 `json:"binary_rejects"`
+	// RequestBytes and ResponseBytes total the solve and band-solve body
+	// bytes read and written, across both codecs.
+	RequestBytes  int64 `json:"request_bytes"`
+	ResponseBytes int64 `json:"response_bytes"`
+	// HaloValues and HaloBytes total the halo values band requests
+	// carried into this node (north + west + east) and their encoded
+	// volume (8 bytes per value).
+	HaloValues int64 `json:"halo_values"`
+	HaloBytes  int64 `json:"halo_bytes"`
 }
 
 // SchedSnapshot aggregates the SchedEvent stream of a shared scheduler.
@@ -123,6 +173,72 @@ type SchedSnapshot struct {
 	// the mean admission latency.
 	QueueWaitNS    int64 `json:"queue_wait_ns"`
 	MaxQueueWaitNS int64 `json:"max_queue_wait_ns"`
+	// QueueWait histograms the time-in-queue of admitted submissions
+	// (the SchedStarted Wait stream); SolveLatency the full
+	// submit-to-done latency of successful solves (the SchedDone Wait
+	// stream).
+	QueueWait    Hist `json:"queue_wait,omitzero"`
+	SolveLatency Hist `json:"solve_latency,omitzero"`
+}
+
+// histBoundsNS are the shared upper bounds of the duration histograms:
+// powers of four from 1µs to ~16.8s (13 buckets), a range wide enough to
+// resolve both sub-millisecond admission waits and multi-second solves
+// at a fixed, merge-friendly bucket layout.
+func histBoundsNS() []int64 {
+	b := make([]int64, 13)
+	v := int64(1000)
+	for i := range b {
+		b[i] = v
+		v *= 4
+	}
+	return b
+}
+
+// Hist is a fixed-bound duration histogram over histBoundsNS. Counts has
+// one entry per bound plus a final overflow bucket, so the cumulative
+// Prometheus rendering (le="...", le="+Inf") falls out by prefix-summing
+// Counts.
+type Hist struct {
+	// BoundsNS are the inclusive upper bounds, ascending.
+	BoundsNS []int64 `json:"bounds_ns"`
+	// Counts[i] counts observations <= BoundsNS[i] (and > BoundsNS[i-1]);
+	// the final extra entry counts overflows.
+	Counts []int64 `json:"counts"`
+	// Count and SumNS are the marginals; MaxNS the largest observation.
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	MaxNS int64 `json:"max_ns"`
+}
+
+// Observe adds one duration (in nanoseconds) to the histogram,
+// allocating the fixed bucket layout on first use.
+func (h *Hist) Observe(ns int64) {
+	if h.BoundsNS == nil {
+		h.BoundsNS = histBoundsNS()
+		h.Counts = make([]int64, len(h.BoundsNS)+1)
+	}
+	i := 0
+	for i < len(h.BoundsNS) && ns > h.BoundsNS[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Count++
+	h.SumNS += ns
+	if ns > h.MaxNS {
+		h.MaxNS = ns
+	}
+}
+
+// IsZero reports whether the histogram has no observations; it makes
+// empty histograms disappear from JSON under omitzero.
+func (h Hist) IsZero() bool { return h.Count == 0 }
+
+// clone deep-copies the histogram's bucket slices.
+func (h Hist) clone() Hist {
+	h.BoundsNS = append([]int64(nil), h.BoundsNS...)
+	h.Counts = append([]int64(nil), h.Counts...)
+	return h
 }
 
 // PhaseStat accumulates the wall time of one named execution phase.
@@ -286,8 +402,13 @@ func (m *Metrics) SchedEvent(ev SchedEvent) {
 		if w > s.MaxQueueWaitNS {
 			s.MaxQueueWaitNS = w
 		}
+		s.QueueWait.Observe(w)
 	case SchedDone:
 		s.Done++
+		// The terminal event's Wait is the submit-to-done latency
+		// (internal/sched documents the contract), so the latency
+		// histogram is one Observe here.
+		s.SolveLatency.Observe(ev.Wait.Nanoseconds())
 	case SchedCanceled:
 		s.Canceled++
 	case SchedRejected:
@@ -311,6 +432,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	s.Phases = append([]PhaseStat(nil), m.snap.Phases...)
 	s.FrontSizes = append([]SizeBucket(nil), m.snap.FrontSizes...)
 	s.Workers = append([]WorkerSnapshot(nil), m.snap.Workers...)
+	s.Sched.QueueWait = m.snap.Sched.QueueWait.clone()
+	s.Sched.SolveLatency = m.snap.Sched.SolveLatency.clone()
 	return s
 }
 
