@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench bench-server bench-wire bench-all experiments figures quick cover trace sched-smoke serve-smoke fleet-smoke soak soak-server conformance e2e clean
+.PHONY: all build test vet check race bench bench-server bench-wire bench-all experiments figures quick cover trace sched-smoke serve-smoke fleet-smoke sim-smoke soak soak-server soak-sim conformance e2e clean
 
 all: build vet test
 
@@ -114,6 +114,18 @@ fleet-smoke:
 	grep -q 'fleet critical path' fleet_trace_summary.txt
 	rm -f lddppromlint.bin lddptrace.bin
 
+# Scenario-engine smoke: the seeded, replayable fleet simulations under
+# the race detector — baseline, admission saturation, kill+drain, and
+# the replay-determinism proof — then the everything scenario plus one
+# live lddpsim run with kills and drains, all through cmd/lddpsim's
+# record/replay round trip. A failing scenario prints its seed and op
+# log; `lddpsim -replay <oplog>` reproduces the exact schedule.
+sim-smoke:
+	$(GO) test -race -count=1 -run 'TestScenario|TestReplay|TestRun' ./internal/sim/ ./cmd/lddpsim/
+	$(GO) run ./cmd/lddpsim -seed 9 -nodes 3 -ops 50 -kills 1 -drains 1 -record sim_oplog.json
+	$(GO) run ./cmd/lddpsim -replay sim_oplog.json
+	rm -f sim_oplog.json
+
 # Server-mode throughput: the full network stack (codec + HTTP + handler +
 # scheduler) vs direct facade submission, archived as BENCH_server.json.
 bench-server:
@@ -151,11 +163,17 @@ soak:
 soak-server:
 	$(GO) test -race -tags soak -run ServerDrainSoakLong -timeout 20m ./internal/server/
 
+# Extended scenario sweep: twelve seeds across four cluster shapes with
+# the full fault mix (kills, drains, saturation bursts, wire faults),
+# each run leak-checked under the race detector.
+soak-sim:
+	$(GO) test -race -tags soak -run TestScenarioSweepSoak -timeout 30m ./internal/sim/
+
 # Cross-executor differential conformance suite: all 15 masks x every
 # public executor path x adversarial shapes, under the race detector.
 conformance:
 	$(GO) test -race -run 'Conformance|Metamorphic' -timeout 10m ./internal/core/ ./internal/sched/
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_server_output.txt trace.json serve_metrics.json lddpd.bin lddppromlint.bin lddptrace.bin fleet_trace_summary.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_server_output.txt trace.json serve_metrics.json lddpd.bin lddppromlint.bin lddptrace.bin fleet_trace_summary.txt sim_oplog.json
 	rm -rf fleet-traces

@@ -199,6 +199,12 @@ func run(ctx context.Context, opts options, out io.Writer, addrCh chan<- string)
 	shCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	shutdownErr := hs.Shutdown(shCtx)
+	if coord != nil {
+		// Detached trace stitches may still be fetching from peers; wait
+		// them out so shutdown leaves no goroutine behind and every
+		// stitched file announced to clients is on disk.
+		coord.Close()
+	}
 	srv.Close()
 	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
 		return fmt.Errorf("drain bound expired: %w", shutdownErr)

@@ -1,0 +1,52 @@
+// CLI-level pins: a clean run reports success, -record/-replay round
+// trip, and a hand-broken op log is rejected before anything boots.
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	oplog := filepath.Join(dir, "oplog.json")
+	opts := options{
+		seed: 5, nodes: 2, ops: 20, maxdim: 16, arms: -1,
+		record: oplog, timeout: 90 * time.Second,
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), opts, &out); err != nil {
+		t.Fatalf("clean run failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all invariants held") {
+		t.Errorf("success line missing from output:\n%s", out.String())
+	}
+	if _, err := os.Stat(oplog); err != nil {
+		t.Fatalf("-record wrote no op log: %v", err)
+	}
+
+	out.Reset()
+	ropts := options{replay: oplog, timeout: 90 * time.Second}
+	if err := run(context.Background(), ropts, &out); err != nil {
+		t.Fatalf("replay failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replaying "+oplog) {
+		t.Errorf("replay banner missing:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBrokenOplog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.json")
+	if err := os.WriteFile(path, []byte(`{"nodes": 0, "ops": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), options{replay: path, timeout: time.Minute}, new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("broken op log accepted")
+	}
+}

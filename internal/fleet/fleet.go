@@ -109,7 +109,9 @@ type Config struct {
 	// multi-process timeline as <TraceDir>/fleet-<fleetID>.json — the
 	// cmd/lddptrace fleet input. Node lanes appear only for nodes that
 	// themselves run with -tracedir; the coordinator lanes never depend
-	// on node support.
+	// on node support. The fetch-and-write runs detached from Solve
+	// (a solve never waits on trace collection); Close waits for all
+	// outstanding ones.
 	TraceDir string
 }
 
@@ -131,7 +133,9 @@ type Result struct {
 	// FleetID is the coordinator-assigned solve identifier, propagated
 	// to every block as its trace context. TracePath is the stitched
 	// multi-node trace file, written only when the coordinator has a
-	// TraceDir.
+	// TraceDir; the write is detached from the solve, so the file is
+	// guaranteed on disk (or definitively absent) only after
+	// Coordinator.Close.
 	FleetID   string
 	TracePath string
 
@@ -154,11 +158,17 @@ func (r *Result) At(i, j int) int64 { return r.Cells[i*r.Cols+j] }
 
 // Coordinator runs band-sharded solves over a fixed node set. Safe for
 // concurrent use; each Solve builds its own plan and scratch state.
+// A traced coordinator detaches its per-solve trace stitching; call
+// Close before exiting (or before reading stitched files) to wait for
+// those fetches.
 type Coordinator struct {
 	cfg Config
 	// counters is a pointer so the Handler's per-request ?bands= copy
-	// keeps accumulating into the same totals.
+	// keeps accumulating into the same totals. stitches is a pointer for
+	// the same reason — the copies must account detached trace fetches
+	// into the same wait group (and a WaitGroup must not be copied).
 	counters *counters
+	stitches *sync.WaitGroup
 }
 
 // counters are the coordinator's lifetime totals, exported into the
@@ -182,8 +192,16 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.MaxBlockAttempts == 0 {
 		cfg.MaxBlockAttempts = 2 * len(cfg.Nodes)
 	}
-	return &Coordinator{cfg: cfg, counters: &counters{}}, nil
+	return &Coordinator{cfg: cfg, counters: &counters{}, stitches: &sync.WaitGroup{}}, nil
 }
+
+// Close waits for the coordinator's detached work — the best-effort
+// node trace fetches launched after each traced solve — to finish, so
+// shutdown paths and leak checks can account for every goroutine and
+// stitched files are complete on disk before anyone reads them. Each
+// fetch bounds itself to ten seconds, so Close is bounded too. The
+// coordinator stays usable afterwards; Close is safe to call again.
+func (c *Coordinator) Close() { c.stitches.Wait() }
 
 // MetricsSnapshot returns the coordinator's lifetime counters in the
 // metrics snapshot's Fleet shape; cmd/lddpd wires it into the node's
@@ -386,7 +404,20 @@ func (c *Coordinator) Solve(ctx context.Context, req *api.SolveRequest) (*Result
 	}
 	if rec != nil {
 		rec.EndSolve()
-		res.TracePath = c.stitchTrace(ctx, fleetID, rec)
+		// Stitching fetches every node's dumps over the wire — up to ten
+		// seconds against a dead node — and the solve's caller should not
+		// pay that: detach it, tracked by the stitches group so Close can
+		// wait. TracePath is the deterministic destination; the file
+		// appears there once the fetch completes (Close synchronizes),
+		// and on a write failure not at all — trace collection stays
+		// best-effort either way.
+		res.TracePath = filepath.Join(c.cfg.TraceDir, fmt.Sprintf("fleet-%s.json", fleetID))
+		sctx := context.WithoutCancel(ctx)
+		c.stitches.Add(1)
+		go func() {
+			defer c.stitches.Done()
+			c.stitchTrace(sctx, fleetID, rec)
+		}()
 	}
 	return res, nil
 }
@@ -394,11 +425,13 @@ func (c *Coordinator) Solve(ctx context.Context, req *api.SolveRequest) (*Result
 // stitchTrace fetches every node's block trace dumps for one completed
 // fleet solve and writes the merged multi-process timeline into the
 // coordinator's TraceDir, best-effort: trace collection must never fail
-// the solve it describes. Returns the written path, "" on failure.
-func (c *Coordinator) stitchTrace(ctx context.Context, fleetID string, rec *trace.Recorder) string {
+// the solve it describes. It runs detached from Solve (see the launch
+// site) under the stitches group.
+func (c *Coordinator) stitchTrace(ctx context.Context, fleetID string, rec *trace.Recorder) {
 	// The solve's own deadline may be (nearly) spent; trace collection
-	// gets a short budget of its own instead of inheriting cancellation.
-	fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+	// gets a short budget of its own instead of inheriting cancellation
+	// (the caller already detached ctx from the solve's).
+	fctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
 	nodes := make([]trace.NodeTrace, len(c.cfg.Nodes))
 	for n, node := range c.cfg.Nodes {
@@ -414,14 +447,12 @@ func (c *Coordinator) stitchTrace(ctx context.Context, fleetID string, rec *trac
 	path := filepath.Join(c.cfg.TraceDir, fmt.Sprintf("fleet-%s.json", fleetID))
 	f, err := os.Create(path)
 	if err != nil {
-		return ""
+		return
 	}
 	defer f.Close()
 	if err := trace.WriteFleetChrome(f, rec.Meta(), rec.Events(), nodes); err != nil {
 		os.Remove(path)
-		return ""
 	}
-	return path
 }
 
 // solveBlock ships one block to its band's node, relocating on failure,

@@ -63,6 +63,9 @@ func TestFleetTraceStitching(t *testing.T) {
 	if res.TracePath == "" {
 		t.Fatal("traced coordinator produced no stitched TracePath")
 	}
+	// Stitching is detached from Solve; Close synchronizes with the
+	// write before the file is read.
+	f.coord.Close()
 
 	fh, err := os.Open(res.TracePath)
 	if err != nil {
@@ -167,6 +170,7 @@ func TestFleetTraceUntracedNodes(t *testing.T) {
 	if res.TracePath == "" {
 		t.Fatal("no stitched trace written")
 	}
+	f.coord.Close()
 	fh, err := os.Open(res.TracePath)
 	if err != nil {
 		t.Fatal(err)

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/table"
+	"repro/internal/testutil"
 )
 
 // runSoak drives a shared scheduler with n concurrent submissions of
@@ -26,17 +26,17 @@ import (
 // The randomness is seeded, so a failure reproduces with the same seed.
 func runSoak(t *testing.T, n, maxDim int, seed int64) {
 	t.Helper()
-	before := runtime.NumGoroutine()
+	leak := testutil.StartLeakCheck()
 	s, err := sched.New(sched.Config{Workers: 4, MaxActive: 8, QueueBound: 32, Chunk: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	masks := core.AllDepMasks()
 	var (
-		wg                        sync.WaitGroup
-		mu                        sync.Mutex
-		done, canceled, rejected  int64
-		failures                  []string
+		wg                       sync.WaitGroup
+		mu                       sync.Mutex
+		done, canceled, rejected int64
+		failures                 []string
 	)
 	fail := func(format string, args ...any) {
 		mu.Lock()
@@ -127,12 +127,8 @@ func runSoak(t *testing.T, n, maxDim int, seed int64) {
 		done, canceled, rejected, st.Steals, st.PeakQueueDepth, st.PeakActive)
 	// Workers exited at Close; give stragglers (test-side cancel timers)
 	// a moment before declaring a leak.
-	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > before {
-		buf := make([]byte, 1<<16)
-		t.Errorf("goroutine leak: %d before, %d after close\n%s", before, g, buf[:runtime.Stack(buf, true)])
+	if err := leak.Err(time.Second); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -232,6 +232,9 @@ func (s *Server) handleBandSolve(w http.ResponseWriter, r *http.Request) {
 		s.active.Add(-1)
 		<-s.inflight
 	}()
+	if s.cfg.Hooks.OnSolveAdmitted != nil {
+		s.cfg.Hooks.OnSolveAdmitted(true)
+	}
 
 	w = &countingResponseWriter{ResponseWriter: w, n: &s.wireStats.responseBytes}
 	neg := negotiate(r)

@@ -6,12 +6,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/testutil"
 	"repro/lddp"
 	"repro/lddp/client"
 )
@@ -29,7 +29,7 @@ import (
 // The randomness is seeded, so a failure reproduces with the same seed.
 func runDrainSoak(t *testing.T, n, maxDim int, seed int64) {
 	t.Helper()
-	before := runtime.NumGoroutine()
+	leak := testutil.StartLeakCheck()
 	srv, err := server.New(server.Config{
 		Workers: 4, Queue: 16, MaxInflight: 8, Chunk: 16,
 		RetryAfter: 10 * time.Millisecond,
@@ -134,12 +134,8 @@ func runDrainSoak(t *testing.T, n, maxDim int, seed int64) {
 
 	// Workers exited at Close; give stragglers (test-side cancel timers,
 	// HTTP conn teardown) a moment before declaring a leak.
-	for i := 0; i < 200 && runtime.NumGoroutine() > before; i++ {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > before {
-		buf := make([]byte, 1<<20)
-		t.Errorf("goroutine leak: %d before, %d after drain\n%s", before, g, buf[:runtime.Stack(buf, true)])
+	if err := leak.Err(2 * time.Second); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -70,6 +70,25 @@ type Config struct {
 	// fleet.Handler's snapshot through here, keeping the server free of
 	// a fleet dependency).
 	ExtraMetrics func(*lddp.MetricsSnapshot)
+
+	// Hooks are deterministic fault points for tests and the scenario
+	// engine; the zero value is inert.
+	Hooks Hooks
+}
+
+// Hooks exposes fixed points in the request lifecycle so fault
+// injection can act at an exact moment instead of racing the handler —
+// the scenario engine (internal/sim) parks admitted requests here to
+// saturate the in-flight limiter deterministically, and kills or drains
+// nodes "mid-solve" with the solve provably in the handler. Callbacks
+// run on the handler goroutine: anything slow or blocking extends the
+// request (and its limiter slot) by exactly that long, which is the
+// point.
+type Hooks struct {
+	// OnSolveAdmitted runs after a solve or band-solve request clears
+	// the in-flight limiter, before parsing; band reports which handler
+	// admitted it.
+	OnSolveAdmitted func(band bool)
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -418,6 +437,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.active.Add(-1)
 		<-s.inflight
 	}()
+	if s.cfg.Hooks.OnSolveAdmitted != nil {
+		s.cfg.Hooks.OnSolveAdmitted(false)
+	}
 
 	w = &countingResponseWriter{ResponseWriter: w, n: &s.wireStats.responseBytes}
 	neg := negotiate(r)

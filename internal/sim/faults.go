@@ -1,0 +1,193 @@
+// The wire-level fault injector: one http.RoundTripper shared by every
+// sim client, keyed by the op ID riding the request context. It applies
+// an op's scheduled faults to exact retry attempts and records every
+// POST /v1/solve attempt (op, node, receipt time, status), which is the
+// evidence the Retry-After invariant is checked against after the run.
+package sim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// opIDKey carries the scheduled op's ID from the engine's dispatch
+// context into the injector (http.NewRequestWithContext propagates it
+// through the client's retry loop unchanged).
+type opIDKey struct{}
+
+// withOpID tags ctx with the op the resulting requests belong to.
+func withOpID(ctx context.Context, id int) context.Context {
+	return context.WithValue(ctx, opIDKey{}, id)
+}
+
+// attempt is one recorded /v1/solve exchange. Status is the HTTP
+// status, or -1 when the attempt died in transport (drop fault, dead
+// node). T is the injector receipt time — before any injected delay,
+// so inter-attempt gaps measure the client's sleep, not the fault's.
+type attempt struct {
+	op     int
+	node   int
+	t      time.Time
+	status int
+	// band marks a /v1/band/solve exchange (fleet block): recorded as
+	// relocation-cause evidence, excluded from the per-op backoff and
+	// saturation checks (parallel bands of one op interleave freely).
+	band bool
+}
+
+// injector wraps the base transport for every sim client.
+type injector struct {
+	base http.RoundTripper
+	// nodeOf maps a request's URL host (the 127.0.0.1:port the node
+	// bound) to its node index.
+	nodeOf map[string]int
+
+	mu       sync.Mutex
+	faults   map[int][]Fault // op ID -> scheduled faults
+	attempts map[int]int     // op ID -> next attempt index
+	log      []attempt
+}
+
+func newInjector(base http.RoundTripper) *injector {
+	return &injector{
+		base:     base,
+		nodeOf:   make(map[string]int),
+		faults:   make(map[int][]Fault),
+		attempts: make(map[int]int),
+	}
+}
+
+func (in *injector) addNode(host string, node int) {
+	in.mu.Lock()
+	in.nodeOf[host] = node
+	in.mu.Unlock()
+}
+
+func (in *injector) armFaults(opID int, faults []Fault) {
+	if len(faults) == 0 {
+		return
+	}
+	in.mu.Lock()
+	in.faults[opID] = faults
+	in.mu.Unlock()
+}
+
+// record appends one attempt to the wire log.
+func (in *injector) record(opID, node, status int, t time.Time, band bool) {
+	in.mu.Lock()
+	in.log = append(in.log, attempt{op: opID, node: node, t: t, status: status, band: band})
+	in.mu.Unlock()
+}
+
+// nextAttempt claims the op's next attempt index and the faults
+// scheduled for it.
+func (in *injector) nextAttempt(opID int) (int, []Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.attempts[opID]
+	in.attempts[opID] = n + 1
+	var hit []Fault
+	for _, f := range in.faults[opID] {
+		if f.Attempt == n {
+			hit = append(hit, f)
+		}
+	}
+	return n, hit
+}
+
+// snapshot returns the attempt log (the run is over; no copy races).
+func (in *injector) snapshot() []attempt {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]attempt(nil), in.log...)
+}
+
+const maxInjectedDelay = 20 * time.Millisecond
+
+// closeRequestBody honors the RoundTripper contract on paths that never
+// hand the request to the base transport: the body must be consumed and
+// closed so the client's pooled request buffer sees a finished attempt.
+func closeRequestBody(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body) //nolint:errcheck
+		req.Body.Close()
+	}
+}
+
+func (in *injector) RoundTrip(req *http.Request) (*http.Response, error) {
+	in.mu.Lock()
+	node, known := in.nodeOf[req.URL.Host]
+	in.mu.Unlock()
+	opID, _ := req.Context().Value(opIDKey{}).(int)
+	if known && req.URL.Path == "/v1/band/solve" {
+		// Fleet blocks are recorded (status only) as relocation-cause
+		// evidence, but never faulted: the fleet's failure modes come
+		// from node kills and drains, not from the wire injector.
+		t0 := time.Now()
+		resp, err := in.base.RoundTrip(req)
+		if err != nil {
+			in.record(opID, node, -1, t0, true)
+			return nil, err
+		}
+		in.record(opID, node, resp.StatusCode, t0, true)
+		return resp, nil
+	}
+	if !known || opID == 0 || req.URL.Path != "/v1/solve" {
+		// Scrapes and health checks pass through untouched.
+		return in.base.RoundTrip(req)
+	}
+	t0 := time.Now()
+	_, faults := in.nextAttempt(opID)
+	for _, f := range faults {
+		switch f.Kind {
+		case FaultDelay:
+			d := time.Duration(f.DelayUS) * time.Microsecond
+			if d > maxInjectedDelay {
+				d = maxInjectedDelay
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-req.Context().Done():
+				t.Stop()
+				in.record(opID, node, -1, t0, false)
+				closeRequestBody(req)
+				return nil, req.Context().Err()
+			case <-t.C:
+			}
+		case FaultDrop:
+			in.record(opID, node, -1, t0, false)
+			closeRequestBody(req)
+			return nil, fmt.Errorf("sim: injected drop (op %d attempt)", opID)
+		}
+	}
+	resp, err := in.base.RoundTrip(req)
+	if err != nil {
+		in.record(opID, node, -1, t0, false)
+		return nil, err
+	}
+	in.record(opID, node, resp.StatusCode, t0, false)
+	for _, f := range faults {
+		// Truncation only mangles successful bodies: halving an error
+		// body would turn a typed 429/503 into a decode error and void
+		// the Retry-After contract the run is checking.
+		if f.Kind == FaultTruncate && resp.StatusCode == http.StatusOK {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				return nil, rerr
+			}
+			half := body[:len(body)/2]
+			// Content-Length stays at the full size: the client sees a
+			// connection that died mid-body, not a short-but-complete
+			// response.
+			resp.Body = io.NopCloser(bytes.NewReader(half))
+			break
+		}
+	}
+	return resp, nil
+}

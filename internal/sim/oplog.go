@@ -1,0 +1,54 @@
+// Op-log persistence: a failing run writes its Schedule as JSON so
+// `lddpsim -replay=oplog.json` re-executes the identical operation
+// sequence. The format is the Schedule struct verbatim — stable field
+// names, omitted zero fields — and marshaling is deterministic (struct
+// order, no maps), so equal schedules produce equal bytes.
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteSchedule writes s as indented JSON to w.
+func WriteSchedule(w io.Writer, s *Schedule) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SaveSchedule writes s to path (0644, truncating).
+func SaveSchedule(path string, s *Schedule) error {
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ReadSchedule decodes and validates one schedule.
+func ReadSchedule(r io.Reader) (*Schedule, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	s := new(Schedule)
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("sim: decoding op log: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadSchedule reads a schedule from path.
+func LoadSchedule(path string) (*Schedule, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return ReadSchedule(fh)
+}

@@ -1,0 +1,47 @@
+//go:build soak
+
+// Long-haul scenario sweep (make soak-sim): many seeds, bigger
+// clusters and op counts than the sim-smoke scenarios. Excluded from
+// tier-1 by the soak build tag.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestScenarioSweepSoak runs a spread of seeds across cluster shapes,
+// each with the full fault mix. Any violation fails with the seed and
+// a saved op log to replay.
+func TestScenarioSweepSoak(t *testing.T) {
+	shapes := []GenConfig{
+		{Nodes: 2, Ops: 120, Kills: 1, Arms: 1},
+		{Nodes: 3, Ops: 150, Kills: 1, Drains: 1, Arms: 1},
+		{Nodes: 4, Ops: 200, Kills: 2, Drains: 1, Arms: 2},
+		{Nodes: 5, Ops: 250, Kills: 2, Drains: 2, Arms: 2, MaxDim: 48},
+	}
+	for seed := int64(100); seed < 112; seed++ {
+		for _, shape := range shapes {
+			shape.Seed = seed
+			t.Run(fmt.Sprintf("seed-%d-nodes-%d", seed, shape.Nodes), func(t *testing.T) {
+				rep, err := Run(context.Background(), Config{
+					Gen:      shape,
+					TraceDir: t.TempDir(),
+					Timeout:  3 * time.Minute,
+				})
+				if err != nil {
+					t.Fatalf("run failed to start: %v", err)
+				}
+				if err := rep.Err(); err != nil {
+					path := t.TempDir() + "/oplog.json"
+					if serr := SaveSchedule(path, rep.Schedule); serr == nil {
+						t.Logf("op log written to %s", path)
+					}
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

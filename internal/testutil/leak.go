@@ -1,0 +1,44 @@
+// Package testutil holds test helpers shared across the repo's suites.
+// It deliberately does not import testing: the scenario engine
+// (internal/sim) runs the same checks from a non-test binary
+// (cmd/lddpsim), so every helper reports through error values and the
+// caller decides between t.Error and process exit.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// LeakCheck is a goroutine-count baseline taken before a test or
+// scenario creates its stack, compared again after teardown. It is the
+// shared form of the checker the scheduler and server soak suites each
+// grew independently: count goroutines before, wait out stragglers
+// after, and dump all stacks on a genuine leak.
+type LeakCheck struct {
+	before int
+}
+
+// StartLeakCheck snapshots the current goroutine count. Call it before
+// constructing the system under test, and Err after tearing it down.
+func StartLeakCheck() *LeakCheck {
+	return &LeakCheck{before: runtime.NumGoroutine()}
+}
+
+// Err re-checks the goroutine count against the baseline, giving
+// stragglers (cancel timers, HTTP connection teardown, pool workers
+// parking) up to patience to exit. A count still above the baseline
+// afterwards returns an error carrying every goroutine stack; nil
+// means the system tore down clean.
+func (l *LeakCheck) Err(patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for runtime.NumGoroutine() > l.before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > l.before {
+		buf := make([]byte, 1<<20)
+		return fmt.Errorf("goroutine leak: %d before, %d after\n%s", l.before, g, buf[:runtime.Stack(buf, true)])
+	}
+	return nil
+}

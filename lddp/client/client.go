@@ -106,6 +106,15 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithTransport supplies the underlying HTTP transport while keeping
+// the client's own defaults for everything else — the seam the
+// scenario engine (internal/sim) uses to wrap delays, drops and
+// truncations around real exchanges. The later of WithTransport and
+// WithHTTPClient wins; Close never touches a supplied transport.
+func WithTransport(rt http.RoundTripper) Option {
+	return func(c *Client) { c.hc = &http.Client{Transport: rt} }
+}
+
 // WithRetry sets the retry policy; zero fields select the defaults.
 // RetryPolicy{MaxAttempts: 1} disables retries entirely.
 func WithRetry(p RetryPolicy) Option {
