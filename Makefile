@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench bench-server bench-wire bench-all experiments figures quick cover trace sched-smoke serve-smoke fleet-smoke sim-smoke soak soak-server soak-sim conformance e2e clean
+.PHONY: all build test vet check race bench bench-server bench-wire bench-all experiments figures quick cover trace sched-smoke async-smoke serve-smoke fleet-smoke sim-smoke soak soak-server soak-sim conformance e2e clean
 
 all: build vet test
 
@@ -63,6 +63,18 @@ trace:
 sched-smoke:
 	$(GO) run ./cmd/lddpserve -mode compare -solves 16 -size 512
 	$(GO) run ./cmd/lddpserve -mix -solves 32 -size 400 -timeout 50ms
+
+# Async-executor smoke: the dependency-counter engine's conformance,
+# metamorphic and unit batteries under the race detector, then the
+# stall proof — trace the same seeded 2048x2048 solve through the
+# epoch-barrier pool and the barrier-free async executor and require
+# the async trace's total barrier stall to be strictly below the
+# pool's (it is structurally zero: async emits no barrier spans).
+async-smoke:
+	$(GO) test -race -count=1 -run 'Async' ./internal/core/ ./lddp/
+	$(GO) run ./cmd/lddprun -problem levenshtein -size 2048 -solver parallel -workers 4 -seed 7 -traceout pool_trace.json
+	$(GO) run ./cmd/lddprun -problem levenshtein -size 2048 -solver async -workers 4 -seed 7 -traceout async_trace.json
+	$(GO) run ./cmd/lddptrace -barrier-under pool_trace.json async_trace.json
 
 # Network service smoke: boot lddpd on an ephemeral local port, fire a
 # remote batch through cmd/lddpserve -url (the client's retry/backoff
@@ -175,5 +187,5 @@ conformance:
 	$(GO) test -race -run 'Conformance|Metamorphic' -timeout 10m ./internal/core/ ./internal/sched/
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_server_output.txt trace.json serve_metrics.json lddpd.bin lddppromlint.bin lddptrace.bin fleet_trace_summary.txt sim_oplog.json
+	rm -f cover.out test_output.txt bench_output.txt bench_server_output.txt trace.json pool_trace.json async_trace.json serve_metrics.json lddpd.bin lddppromlint.bin lddptrace.bin fleet_trace_summary.txt sim_oplog.json
 	rm -rf fleet-traces

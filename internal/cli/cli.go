@@ -38,6 +38,9 @@ type Instance struct {
 	// SolveParallel runs the native goroutine solver; opts carries the
 	// runtime knobs (workers, chunk, lookahead) and an optional Collector.
 	SolveParallel func(opts core.Options) (string, error)
+	// SolveAsync runs the barrier-free dependency-counter executor; opts
+	// carries workers and the optional Collector/Tracer.
+	SolveAsync func(opts core.Options) (string, error)
 	// SolveSim runs a simulated solver: mode is "cpu", "gpu" or "hetero".
 	SolveSim func(mode string, opts core.Options) (SimInfo, error)
 	// SolveMulti runs the multi-accelerator extension (horizontal-pattern
@@ -85,6 +88,13 @@ func makeInstance[T comparable](p *core.Problem[T], answer func(*table.Grid[T]) 
 	}
 	inst.SolveParallel = func(opts core.Options) (string, error) {
 		g, err := core.SolveParallelOpt(p, opts)
+		if err != nil {
+			return "", err
+		}
+		return answer(g), nil
+	}
+	inst.SolveAsync = func(opts core.Options) (string, error) {
+		g, err := core.SolveAsyncOpt(p, opts)
 		if err != nil {
 			return "", err
 		}

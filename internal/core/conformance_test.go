@@ -67,6 +67,7 @@ func confProblem(seed int64, m core.DepMask, rows, cols int) *core.Problem[int64
 var conformanceShapes = [][2]int{
 	{1, 1},
 	{1, 33},
+	{1, 257}, // single row wider than every chunk/inline cutoff in the matrix
 	{33, 1},
 	{101, 1}, // knight fronts past the scheduler publish boundary are empty at odd t
 	{3, 101}, // rows << cols
@@ -101,6 +102,26 @@ func conformanceExecutors(s *sched.Scheduler) []executorCase {
 		{"Scheduler", func(p *core.Problem[int64]) (*table.Grid[int64], error) {
 			return sched.Solve(context.Background(), s, p, sched.SubmitOptions{Chunk: 8})
 		}},
+		{"SolveAsync", func(p *core.Problem[int64]) (*table.Grid[int64], error) {
+			return core.SolveAsync(p, 4)
+		}},
+		{"SolveAsync/1worker", func(p *core.Problem[int64]) (*table.Grid[int64], error) {
+			return core.SolveAsync(p, 1)
+		}},
+		{"SchedulerAsync", func(p *core.Problem[int64]) (*table.Grid[int64], error) {
+			wl, finish, err := core.NewAsyncWorkload(context.Background(), p, core.Options{NativeWorkers: 3})
+			if err != nil {
+				return nil, err
+			}
+			h, err := s.Submit(context.Background(), wl, sched.SubmitOptions{Chunk: 1})
+			if err != nil {
+				return nil, err
+			}
+			if err := h.Wait(); err != nil {
+				return nil, err
+			}
+			return finish(), nil
+		}},
 	}
 }
 
@@ -122,7 +143,7 @@ func reportMismatch(t *testing.T, exec string, seed int64, m core.DepMask, rows,
 }
 
 // TestConformanceAllMasksAllExecutors is the full differential matrix:
-// 15 masks x 7 shapes x every executor path, exact table equality.
+// 15 masks x 9 shapes x every executor path, exact table equality.
 func TestConformanceAllMasksAllExecutors(t *testing.T) {
 	s, err := sched.New(sched.Config{Workers: 4, Chunk: 8})
 	if err != nil {

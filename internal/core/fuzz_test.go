@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/table"
@@ -50,6 +51,80 @@ func FuzzHeteroEquivalence(f *testing.F) {
 		}
 		if !table.EqualComparable(want, res.Grid) {
 			t.Fatalf("mask %s %dx%d tsw=%d tsh=%d: hetero differs", m, rows, cols, tsw, tsh)
+		}
+	})
+}
+
+// FuzzAsyncDeps fuzzes the async executor's dependency-counter
+// initialization over arbitrary (mask, rows, cols): construction must
+// never panic, the counter totals must equal the brute-force edge count
+// of the mask's dependency graph (and the seeded ready queue must hold
+// exactly the zero-in-degree cells), and a full solve on the same
+// small table must match the sequential oracle cell for cell.
+func FuzzAsyncDeps(f *testing.F) {
+	f.Add(uint8(3), uint8(9), uint8(9), uint8(4))
+	f.Add(uint8(6), uint8(1), uint8(64), uint8(1))  // 1xN row
+	f.Add(uint8(12), uint8(64), uint8(1), uint8(3)) // Nx1 column
+	f.Add(uint8(9), uint8(2), uint8(2), uint8(7))   // 2x2 minimal
+	f.Add(uint8(14), uint8(33), uint8(17), uint8(0))
+	f.Fuzz(func(t *testing.T, mi, r, c, workers uint8) {
+		masks := AllDepMasks()
+		m := masks[int(mi)%len(masks)]
+		rows := int(r%64) + 1
+		cols := int(c%64) + 1
+		p := testProblem(m, rows, cols)
+
+		e, _, _, err := newAsyncEngine(context.Background(), p, Options{NativeWorkers: int(workers % 9)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute-force edge count: each cell contributes one edge per
+		// in-bounds dependency under the mask.
+		edges, sources := int64(0), int64(0)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				d := int64(0)
+				if m.Has(DepW) && j > 0 {
+					d++
+				}
+				if i > 0 {
+					if m.Has(DepNW) && j > 0 {
+						d++
+					}
+					if m.Has(DepN) {
+						d++
+					}
+					if m.Has(DepNE) && j+1 < cols {
+						d++
+					}
+				}
+				edges += d
+				if d == 0 {
+					sources++
+				}
+			}
+		}
+		var got int64
+		for idx := range e.counters {
+			got += int64(e.counters[idx].Load())
+		}
+		if got != edges {
+			t.Fatalf("mask %s %dx%d: counter total %d, want edge count %d", m, rows, cols, got, edges)
+		}
+		if q := e.tail.Load(); q != sources {
+			t.Fatalf("mask %s %dx%d: %d cells seeded ready, want %d zero-in-degree cells", m, rows, cols, q, sources)
+		}
+
+		want, err := Solve(p)
+		if err != nil {
+			t.Skip()
+		}
+		gotGrid, err := SolveAsync(p, int(workers%9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.EqualComparable(want, gotGrid) {
+			t.Fatalf("mask %s %dx%d workers=%d: async differs from oracle", m, rows, cols, workers%9)
 		}
 	})
 }

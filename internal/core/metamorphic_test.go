@@ -97,6 +97,108 @@ func TestMetamorphicMInvertedLIsMirroredInvertedL(t *testing.T) {
 	}
 }
 
+// TestMetamorphicAsyncSymmetry runs both Table-I symmetry relations
+// through the async dependency-counter executor: solving the transposed
+// (or column-mirrored) problem asynchronously and mapping the grid back
+// must reproduce the direct sequential solve. The async executor performs
+// no canonicalization of its own, so this catches any disagreement
+// between its raw-mask dependency graph and the reduction machinery.
+func TestMetamorphicAsyncSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 12; iter++ {
+		rows, cols := metaDims(rng)
+		seed := rng.Int63()
+
+		// Vertical {W} vs its transposed Horizontal, both async.
+		p := confProblem(seed, core.DepW, rows, cols)
+		direct, err := core.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asyncDirect, err := core.SolveAsync(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.EqualComparable(direct, asyncDirect) {
+			t.Errorf("shape=%dx%d seed=%d: async Vertical differs from sequential", rows, cols, seed)
+		}
+		tp, undo := core.Transposed(p)
+		viaT, err := core.SolveAsync(tp, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.EqualComparable(direct, undo(viaT)) {
+			t.Errorf("shape=%dx%d seed=%d: async transposed Horizontal differs from direct Vertical", rows, cols, seed)
+		}
+
+		// Mirrored-Inverted-L {NE} vs its column-mirrored Inverted-L.
+		pm := confProblem(seed, core.DepNE, rows, cols)
+		mdirect, err := core.Solve(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, mundo := core.MirroredColumns(pm)
+		viaM, err := core.SolveAsync(mp, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.EqualComparable(mdirect, mundo(viaM)) {
+			t.Errorf("shape=%dx%d seed=%d: async mirrored Inverted-L differs from direct mInverted-L", rows, cols, seed)
+		}
+	}
+}
+
+// gridDigest folds a grid into an FNV-1a digest in row-major order, the
+// canonical fingerprint for the determinism check below.
+func gridDigest(g *table.Grid[int64]) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < g.Rows(); i++ {
+		for j := 0; j < g.Cols(); j++ {
+			v := uint64(g.At(i, j))
+			for s := 0; s < 64; s += 8 {
+				h ^= (v >> s) & 0xff
+				h *= prime64
+			}
+		}
+	}
+	return h
+}
+
+// TestMetamorphicAsyncDeterminism: the async completion order is
+// nondeterministic (whichever worker's decrement lands last wins the
+// cell), but the computed table must not be — repeated solves of the same
+// instance must produce bit-identical digests. Run across several masks
+// including the full mask, whose cells race on four counters at once.
+func TestMetamorphicAsyncDeterminism(t *testing.T) {
+	masks := []core.DepMask{
+		core.DepW | core.DepN,
+		core.DepN,
+		core.DepW | core.DepNE,
+		core.DepW | core.DepNW | core.DepN | core.DepNE,
+	}
+	for _, m := range masks {
+		p := confProblem(0xd1ce, m, 67, 59)
+		want, err := core.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDigest := gridDigest(want)
+		for rep := 0; rep < 8; rep++ {
+			g, err := core.SolveAsync(p, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := gridDigest(g); d != wantDigest {
+				t.Fatalf("mask=%s rep=%d: async digest %#x differs from oracle %#x", m, rep, d, wantDigest)
+			}
+		}
+	}
+}
+
 // TestMetamorphicReductionsAreInvolutions: applying a reduction twice
 // returns to the original problem — transposing a transposed problem (or
 // mirroring a mirrored one) and solving must reproduce the direct solve.

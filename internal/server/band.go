@@ -113,9 +113,9 @@ func (s *Server) ValidateBandRequest(req *api.BandRequest) (lddp.DepMask, error)
 			req.Row0, req.Row1, req.Col0, req.Col1, req.Rows, req.Cols)
 	}
 	switch req.Strategy {
-	case "", "auto", "parallel":
+	case "", "auto", "parallel", "async":
 	default:
-		return 0, fmt.Errorf("unknown strategy %q (want auto or parallel)", req.Strategy)
+		return 0, fmt.Errorf("unknown strategy %q (want auto, parallel or async)", req.Strategy)
 	}
 	switch req.Workload.Kind {
 	case "", api.KindMix, api.KindServe, api.KindCost, api.KindAlign:
@@ -284,8 +284,11 @@ func (s *Server) handleBandSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	opts := []lddp.Option{}
-	if req.Strategy == "parallel" {
+	switch req.Strategy {
+	case "parallel":
 		opts = append(opts, lddp.WithStrategy(lddp.Parallel))
+	case "async":
+		opts = append(opts, lddp.WithStrategy(lddp.Async))
 	}
 	if req.Chunk > 0 {
 		opts = append(opts, lddp.WithChunk(req.Chunk))

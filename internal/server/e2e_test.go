@@ -181,6 +181,26 @@ func TestE2EDifferentialAllMasks(t *testing.T) {
 	}
 }
 
+// TestE2EDifferentialAsyncStrategy runs the wire boundary with the
+// "async" strategy knob: every mask on a couple of adversarial shapes
+// must come back digest- and cell-identical to the sequential oracle
+// when solved by the barrier-free dependency-counter executor.
+func TestE2EDifferentialAsyncStrategy(t *testing.T) {
+	_, _, c := newTestService(t, server.Config{Workers: 4})
+	const seed = int64(0xa51c)
+	for _, m := range lddp.AllDepMasks() {
+		for _, d := range [][2]int{{1, 33}, {31, 37}, {101, 3}} {
+			req := &client.SolveRequest{
+				Rows: d[0], Cols: d[1],
+				Mask:     m.String(),
+				Strategy: "async",
+				Workload: client.WorkloadSpec{Kind: client.KindMix, Seed: seed},
+			}
+			checkDifferential(t, c, req, seed, m)
+		}
+	}
+}
+
 // TestE2EDifferentialSeedSweep re-runs a reduced matrix over several
 // seeds so the boundary is not blind to a value-dependent bug one seed
 // happens to miss.

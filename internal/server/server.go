@@ -513,8 +513,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	opts := []lddp.Option{}
-	if req.Strategy == "parallel" {
+	switch req.Strategy {
+	case "parallel":
 		opts = append(opts, lddp.WithStrategy(lddp.Parallel))
+	case "async":
+		opts = append(opts, lddp.WithStrategy(lddp.Async))
 	}
 	if req.Chunk > 0 {
 		opts = append(opts, lddp.WithChunk(req.Chunk))

@@ -59,9 +59,9 @@ func (s *Server) ValidateRequest(req *api.SolveRequest) error {
 		return fmt.Errorf("table size %dx%d exceeds the per-request cap of %d cells", req.Rows, req.Cols, s.cfg.MaxCells)
 	}
 	switch req.Strategy {
-	case "", "auto", "parallel":
+	case "", "auto", "parallel", "async":
 	default:
-		return fmt.Errorf("unknown strategy %q (want auto or parallel)", req.Strategy)
+		return fmt.Errorf("unknown strategy %q (want auto, parallel or async)", req.Strategy)
 	}
 	switch req.Workload.Kind {
 	case "", api.KindMix, api.KindServe, api.KindCost, api.KindAlign:

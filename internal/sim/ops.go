@@ -337,7 +337,11 @@ func (g *generator) solveShape(masks []lddp.DepMask) (kind, mask, strategy strin
 	if _, err := api.ResolveMask(kind, mask); err != nil {
 		mask = "" // align rejects everything but its fixed mask
 	}
-	strategy = []string{"", "auto", "parallel"}[g.rng.Intn(3)]
+	// The async dependency-counter executor rides a deterministic subset
+	// of solves (seeded rng, so recorded schedules replay identically),
+	// putting it under the same kills, drains, cancels and wire faults
+	// as the barrier executors.
+	strategy = []string{"", "auto", "parallel", "async"}[g.rng.Intn(4)]
 	rows = 2 + g.rng.Intn(g.cfg.MaxDim-1)
 	cols = 2 + g.rng.Intn(g.cfg.MaxDim-1)
 	seed = g.rng.Int63()

@@ -38,6 +38,25 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateIncludesAsyncStrategy: schedule generation must route a
+// deterministic subset of solve ops through the async executor, so the
+// scenario engine exercises it under faults like every other strategy.
+func TestGenerateIncludesAsyncStrategy(t *testing.T) {
+	s := Generate(GenConfig{Seed: 42, Nodes: 3, Ops: 200})
+	counts := map[string]int{}
+	for _, op := range s.Ops {
+		if op.Kind == OpSolve {
+			counts[op.Strategy]++
+		}
+	}
+	if counts["async"] == 0 {
+		t.Fatalf("200 ops at seed 42 picked no async solves (strategies: %v)", counts)
+	}
+	if counts["parallel"] == 0 || counts[""]+counts["auto"] == 0 {
+		t.Fatalf("async must ride alongside the other strategies, not replace them (strategies: %v)", counts)
+	}
+}
+
 // TestScheduleRoundTrip: save + load preserves the schedule exactly.
 func TestScheduleRoundTrip(t *testing.T) {
 	s := Generate(GenConfig{Seed: 7, Nodes: 2, Ops: 40, Kills: 1})

@@ -26,6 +26,7 @@ type Report struct {
 	Util     [][]float64 `json:"util"`
 
 	Stall    StallReport    `json:"stall"`
+	Queue    QueueReport    `json:"queue"`
 	Critical CriticalReport `json:"critical"`
 }
 
@@ -50,6 +51,15 @@ type StallReport struct {
 	FrontsWithStall int `json:"fronts_with_stall"`
 	// Top lists the worst fronts by accumulated barrier stall.
 	Top []FrontStall `json:"top,omitempty"`
+}
+
+// QueueReport aggregates the async executor's KindReady queue-depth
+// samples. Zero Samples means the trace carries none (every
+// level-synchronous executor).
+type QueueReport struct {
+	Samples   int     `json:"samples"`
+	PeakDepth int64   `json:"peak_depth"`
+	AvgDepth  float64 `json:"avg_depth"`
 }
 
 // FrontStall is one front's barrier-stall aggregate.
@@ -93,7 +103,7 @@ const topN = 5
 // busyKind reports whether spans of this kind occupy their lane.
 func busyKind(k Kind) bool {
 	switch k {
-	case KindChunk, KindInline, KindRow, KindPhase, KindXferH2D, KindXferD2H:
+	case KindChunk, KindInline, KindRow, KindTask, KindPhase, KindXferH2D, KindXferD2H:
 		return true
 	}
 	return false
@@ -146,7 +156,7 @@ func Analyze(meta Meta, events []Event, buckets int) *Report {
 		}
 		lr := &lanes[e.Worker]
 		lr.BusyNS += e.Dur
-		if e.Kind == KindChunk || e.Kind == KindInline || e.Kind == KindRow {
+		if e.Kind == KindChunk || e.Kind == KindInline || e.Kind == KindRow || e.Kind == KindTask {
 			lr.Chunks++
 			lr.Cells += e.B - e.A
 		}
@@ -158,7 +168,28 @@ func Analyze(meta Meta, events []Event, buckets int) *Report {
 	rep.Workers = lanes
 
 	rep.Stall = analyzeStall(events)
+	rep.Queue = analyzeQueue(events)
 	rep.Critical = analyzeCritical(events)
+	return rep
+}
+
+// analyzeQueue folds the async executor's ready-queue samples.
+func analyzeQueue(events []Event) QueueReport {
+	var rep QueueReport
+	var sum int64
+	for _, e := range events {
+		if e.Kind != KindReady {
+			continue
+		}
+		rep.Samples++
+		sum += e.A
+		if e.A > rep.PeakDepth {
+			rep.PeakDepth = e.A
+		}
+	}
+	if rep.Samples > 0 {
+		rep.AvgDepth = float64(sum) / float64(rep.Samples)
+	}
 	return rep
 }
 
@@ -223,9 +254,13 @@ func analyzeStall(events []Event) StallReport {
 }
 
 func analyzeCritical(events []Event) CriticalReport {
-	// Band traces carry KindRow spans; pool traces KindFront spans.
+	// Band traces carry KindRow spans; pool traces KindFront spans;
+	// async traces KindTask spans (no front DAG to walk — the chain
+	// below reports the busiest lane as a lower bound on the path).
 	var rows, fronts, inline []Event
 	longestChunk := map[int32]int64{}
+	taskNS := map[int32]int64{}
+	taskSteps := map[int32]int{}
 	for _, e := range events {
 		switch e.Kind {
 		case KindRow:
@@ -238,6 +273,9 @@ func analyzeCritical(events []Event) CriticalReport {
 			if e.Dur > longestChunk[e.Front] {
 				longestChunk[e.Front] = e.Dur
 			}
+		case KindTask:
+			taskNS[e.Worker] += e.Dur
+			taskSteps[e.Worker]++
 		}
 	}
 	var rep CriticalReport
@@ -269,6 +307,16 @@ func analyzeCritical(events []Event) CriticalReport {
 		})
 		if len(rep.Top) > topN {
 			rep.Top = rep.Top[:topN]
+		}
+	case len(taskNS) > 0:
+		// Async dependency-counter traces: no materialized fronts. The
+		// busiest lane's task time bounds the path from below.
+		rep.Kind = "async"
+		for w, ns := range taskNS {
+			if ns > rep.ComputeNS {
+				rep.ComputeNS = ns
+				rep.Steps = taskSteps[w]
+			}
 		}
 	case rep.InlineNS > 0:
 		rep.Kind = "serial"

@@ -50,6 +50,16 @@ const (
 	// different one (a cross-solve steal); emitted as an instant on the
 	// stealing worker's lane. A carries the solve ID.
 	KindSteal
+	// KindTask spans one async worker's run of consecutive
+	// dependency-scheduled cells (the async executor has no fronts, so a
+	// "task" batch is its busy unit). A and B carry a [0, cells) count so
+	// Cells accounting matches the chunk convention; Front is the row of
+	// the last cell in the batch (display only).
+	KindTask
+	// KindReady is an instant sampling the async ready queue: A carries
+	// the queue depth (published minus claimed), B the completed-cell
+	// count at the sample.
+	KindReady
 )
 
 var kindNames = [...]string{
@@ -65,6 +75,8 @@ var kindNames = [...]string{
 	KindXferD2H: "d2h",
 	KindQueue:   "queue",
 	KindSteal:   "steal",
+	KindTask:    "task",
+	KindReady:   "ready",
 }
 
 // String returns the stable lowercase name of the kind, used as the

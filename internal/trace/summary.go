@@ -50,6 +50,11 @@ func WriteSummary(w io.Writer, rep *Report) error {
 		}
 	}
 
+	if q := rep.Queue; q.Samples > 0 {
+		fmt.Fprintf(w, "ready queue: samples=%d peak=%d avg=%.1f\n",
+			q.Samples, q.PeakDepth, q.AvgDepth)
+	}
+
 	cr := rep.Critical
 	fmt.Fprintf(w, "critical path (%s): steps=%d compute=%s stall=%s inline=%s\n",
 		cr.Kind, cr.Steps,

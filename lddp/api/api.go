@@ -23,8 +23,9 @@ type SolveRequest struct {
 	// workload kind's default mask.
 	Mask string `json:"mask,omitempty"`
 
-	// Strategy selects the executor: "auto" (default) or "parallel" —
-	// the two strategies the shared scheduler can run.
+	// Strategy selects the executor: "auto" (default), "parallel", or
+	// "async" (the barrier-free dependency-counter executor) — the
+	// strategies the shared scheduler can run.
 	Strategy string `json:"strategy,omitempty"`
 
 	// Workload selects the problem generator; the zero value is the

@@ -53,7 +53,7 @@ func TestSolveMatchesReferenceAllMasksAllStrategies(t *testing.T) {
 		}
 		for _, s := range []lddp.Strategy{
 			lddp.Auto, lddp.Sequential, lddp.Parallel, lddp.Tiled,
-			lddp.Hetero, lddp.SimCPU, lddp.SimGPU,
+			lddp.Hetero, lddp.SimCPU, lddp.SimGPU, lddp.Async,
 		} {
 			res, err := lddp.Solve(ctx, p, lddp.WithStrategy(s), lddp.WithWorkers(3))
 			if err != nil {
@@ -122,7 +122,7 @@ func TestSolveCancellation(t *testing.T) {
 	cancel()
 	p := testProblem(lddp.DepW|lddp.DepNW|lddp.DepN, 64, 64)
 	for _, s := range []lddp.Strategy{
-		lddp.Sequential, lddp.Parallel, lddp.Tiled, lddp.Hetero, lddp.SimCPU, lddp.SimGPU,
+		lddp.Sequential, lddp.Parallel, lddp.Tiled, lddp.Hetero, lddp.SimCPU, lddp.SimGPU, lddp.Async,
 	} {
 		_, err := lddp.Solve(ctx, p, lddp.WithStrategy(s))
 		var c *lddp.Canceled

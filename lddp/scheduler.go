@@ -148,7 +148,12 @@ func (s *Submission[T]) Wait() (*Grid[T], error) {
 // per-submission Tracer recording queue wait, chunk claims, and steals);
 // WithWorkers is ignored — the scheduler owns the pool — and WithCollector
 // is rejected in favor of the scheduler-wide WithSchedulerCollector.
-// Only the Auto and Parallel strategies can run on the scheduler.
+// Only the Auto, Parallel and Async strategies can run on the scheduler.
+//
+// An Async submission is a single front of independent worker loops over
+// the shared dependency-counter engine (core.NewAsyncWorkload), claimed
+// one loop at a time, so scheduler workers join and leave the solve like
+// any other chunked submission.
 //
 // A nil error means the submission was accepted; its outcome arrives via
 // the Submission. A *Rejected error means it was refused synchronously
@@ -164,17 +169,33 @@ func Submit[T any](ctx context.Context, s *Scheduler, p *Problem[T], options ...
 			return nil, cfg.err
 		}
 	}
-	if cfg.strategy != Auto && cfg.strategy != Parallel {
-		return nil, fmt.Errorf("lddp: the %s strategy cannot run on the shared scheduler (only Auto and Parallel)", cfg.strategy)
+	if cfg.strategy != Auto && cfg.strategy != Parallel && cfg.strategy != Async {
+		return nil, fmt.Errorf("lddp: the %s strategy cannot run on the shared scheduler (only Auto, Parallel and Async)", cfg.strategy)
 	}
 	if cfg.opts.Collector != nil {
 		return nil, fmt.Errorf("lddp: per-submission collectors are not supported; attach one scheduler-wide with WithSchedulerCollector")
 	}
-	wl, finish, err := core.NewWorkload(p, cfg.opts)
+	var (
+		wl     *core.Workload
+		finish func() *Grid[T]
+		err    error
+		chunk  = cfg.opts.NativeChunk
+	)
+	if cfg.strategy == Async {
+		// The async workload's "cells" are whole worker loops; cap them at
+		// the scheduler's pool size and claim them one at a time.
+		if w := s.Config().Workers; cfg.opts.NativeWorkers <= 0 || cfg.opts.NativeWorkers > w {
+			cfg.opts.NativeWorkers = w
+		}
+		wl, finish, err = core.NewAsyncWorkload(ctx, p, cfg.opts)
+		chunk = 1
+	} else {
+		wl, finish, err = core.NewWorkload(p, cfg.opts)
+	}
 	if err != nil {
 		return nil, err
 	}
-	h, err := s.Submit(ctx, wl, sched.SubmitOptions{Chunk: cfg.opts.NativeChunk, Tracer: cfg.opts.Tracer})
+	h, err := s.Submit(ctx, wl, sched.SubmitOptions{Chunk: chunk, Tracer: cfg.opts.Tracer})
 	if err != nil {
 		return nil, err
 	}

@@ -56,6 +56,33 @@ func TestSchedulerFacadeMatchesSolve(t *testing.T) {
 	}
 }
 
+// TestSchedulerFacadeAsyncStrategy submits an async-strategy solve to the
+// shared scheduler and checks the dependency-counter engine's grid
+// matches the sequential reference when assembled by scheduler workers.
+func TestSchedulerFacadeAsyncStrategy(t *testing.T) {
+	s, err := lddp.NewScheduler(lddp.WithSchedulerWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := schedProblem(77, 61)
+	want, err := lddp.Solve(context.Background(), p, lddp.WithStrategy(lddp.Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lddp.SolveOn(context.Background(), s, p, lddp.WithStrategy(lddp.Async))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Rows; i++ {
+		for j := 0; j < p.Cols; j++ {
+			if want.Grid.At(i, j) != got.At(i, j) {
+				t.Fatalf("cell (%d,%d): async-on-scheduler %d != sequential %d", i, j, got.At(i, j), want.Grid.At(i, j))
+			}
+		}
+	}
+}
+
 func TestSubmitRejectsUnsupportedOptions(t *testing.T) {
 	s, err := lddp.NewScheduler(lddp.WithSchedulerWorkers(1))
 	if err != nil {

@@ -31,6 +31,10 @@ const (
 	// Multi runs the multi-accelerator extension (horizontal-pattern
 	// problems; requires WithAccelerators).
 	Multi
+	// Async runs the asynchronous dependency-counter executor: no
+	// wavefronts, no barriers — cells are scheduled the moment their last
+	// dependency publishes.
+	Async
 )
 
 func (s Strategy) String() string {
@@ -51,6 +55,8 @@ func (s Strategy) String() string {
 		return "sim-gpu"
 	case Multi:
 		return "multi"
+	case Async:
+		return "async"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -73,7 +79,7 @@ type Option func(*config)
 // WithStrategy selects the executor; the default is Auto.
 func WithStrategy(s Strategy) Option {
 	return func(c *config) {
-		if s < Auto || s > Multi {
+		if s < Auto || s > Async {
 			c.err = fmt.Errorf("lddp: unknown strategy %d", int(s))
 			return
 		}
@@ -245,6 +251,12 @@ func Solve[T any](ctx context.Context, p *Problem[T], options ...Option) (*Resul
 		res.Grid = g
 	case Parallel:
 		g, err := core.SolveParallelContext(ctx, p, cfg.opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Grid = g
+	case Async:
+		g, err := core.SolveAsyncContext(ctx, p, cfg.opts)
 		if err != nil {
 			return nil, err
 		}
